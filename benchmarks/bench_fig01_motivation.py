@@ -1,0 +1,25 @@
+"""Fig. 1 — motivation: replication overheads and checkpoint interference."""
+
+from conftest import regen
+
+
+def test_fig1a_replication_degrades_writes(benchmark):
+    result = regen(benchmark, "fig1a")
+    r1 = {op: result.lookup(replicas=1, op=op) for op in
+          ("INSERT", "UPDATE", "SEARCH", "DELETE")}
+    r3 = {op: result.lookup(replicas=3, op=op) for op in
+          ("INSERT", "UPDATE", "SEARCH", "DELETE")}
+    # writes need >= n CASes and lose a large share of their throughput
+    for op in ("INSERT", "UPDATE", "DELETE"):
+        assert r3[op]["mean_cas"] >= 3.0
+        assert r3[op]["mops"] < r1[op]["mops"] * 0.7, op
+    # SEARCH needs no CAS and is essentially unaffected
+    assert r3["SEARCH"]["mean_cas"] == 0.0
+    assert r3["SEARCH"]["mops"] > r1["SEARCH"]["mops"] * 0.9
+
+
+def test_fig1b_checkpoint_size_hurts_throughput(benchmark):
+    result = regen(benchmark, "fig1b")
+    quiet = result.lookup(ckpt_mb=0, op="SEARCH")["mops"]
+    noisy = result.lookup(ckpt_mb=512, op="SEARCH")["mops"]
+    assert noisy < quiet  # bigger checkpoints steal read bandwidth

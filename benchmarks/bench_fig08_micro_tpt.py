@@ -1,0 +1,12 @@
+"""Fig. 8 — microbenchmark throughput, Aceso vs FUSEE."""
+
+from conftest import regen
+
+
+def test_fig8_aceso_wins_writes(benchmark):
+    result = regen(benchmark, "fig8")
+    for op in ("UPDATE", "DELETE"):
+        assert result.lookup(system="aceso", op=op)["vs_fusee"] > 1.2, op
+    assert result.lookup(system="aceso", op="INSERT")["vs_fusee"] > 1.1
+    # reads are comparable or modestly better (paper: 1.1x)
+    assert result.lookup(system="aceso", op="SEARCH")["vs_fusee"] > 0.9

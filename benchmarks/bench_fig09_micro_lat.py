@@ -1,0 +1,12 @@
+"""Fig. 9 — microbenchmark P50/P99 latency, Aceso vs FUSEE."""
+
+from conftest import regen
+
+
+def test_fig9_aceso_cuts_write_latency(benchmark):
+    result = regen(benchmark, "fig9")
+    for op in ("UPDATE", "DELETE"):
+        aceso = result.lookup(system="aceso", op=op)
+        fusee = result.lookup(system="fusee", op=op)
+        assert aceso["p50_us"] < fusee["p50_us"], op
+        assert aceso["p99_us"] < fusee["p99_us"] * 1.1, op

@@ -1,0 +1,14 @@
+"""Fig. 10 — YCSB A-D throughput, Aceso vs FUSEE."""
+
+from conftest import regen
+
+
+def test_fig10_aceso_ahead_everywhere(benchmark):
+    result = regen(benchmark, "fig10")
+    gains = {w: result.lookup(workload=w, system="aceso")["vs_fusee"]
+             for w in ("A", "B", "C", "D")}
+    # write-heavy A gains the most (paper 1.63x); read-heavy still >= par
+    assert gains["A"] > 1.2
+    for w in ("B", "C", "D"):
+        assert gains[w] > 0.9, (w, gains)
+    assert gains["A"] >= max(gains["B"], gains["C"]) * 0.95

@@ -1,0 +1,17 @@
+"""Fig. 12 — memory distribution and the erasure-coding space saving."""
+
+from conftest import regen
+
+
+def test_fig12_space_saving(benchmark):
+    result = regen(benchmark, "fig12")
+    aceso = result.lookup(system="aceso")
+    fusee = result.lookup(system="fusee")
+    # FUSEE: redundancy = 2 full copies; Aceso: parity, well under 1 copy
+    assert fusee["redundancy"] > 1.8 * fusee["valid"]
+    assert aceso["redundancy"] < 1.2 * aceso["valid"]
+    # overall saving in the paper's ballpark (44%)
+    saving = 1.0 - aceso["total"] / fusee["total"]
+    assert saving > 0.25, f"saving only {saving:.1%}"
+    # delta blocks are a small overhead (paper ~1% of data)
+    assert aceso["delta"] < 0.15 * aceso["valid"]

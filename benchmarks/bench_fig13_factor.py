@@ -1,0 +1,20 @@
+"""Fig. 13 — factor analysis ORIGIN -> +SLOT -> +CKPT -> +CACHE."""
+
+from conftest import regen
+
+
+def test_fig13_step_shapes(benchmark):
+    result = regen(benchmark, "fig13")
+
+    def mops(step, op):
+        return result.lookup(step=step, op=op)["mops"]
+
+    # +CKPT (checkpointed index) is where writes jump
+    for op in ("UPDATE", "INSERT", "DELETE"):
+        assert mops("+ckpt", op) > mops("+slot", op) * 1.15, op
+    # +SLOT leaves writes roughly unchanged
+    assert mops("+slot", "UPDATE") > mops("origin", "UPDATE") * 0.8
+    # the full system reads at least as well as ORIGIN (paper: 1.28x)
+    assert mops("+cache", "SEARCH") > mops("origin", "SEARCH") * 0.9
+    # and +CACHE does not regress reads vs +CKPT
+    assert mops("+cache", "SEARCH") >= mops("+ckpt", "SEARCH") * 0.95

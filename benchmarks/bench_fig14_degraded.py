@@ -1,0 +1,14 @@
+"""Fig. 14 — degraded SEARCH and space-reclaimed UPDATE."""
+
+from conftest import regen
+
+
+def test_fig14_degraded_and_reclaimed(benchmark):
+    result = regen(benchmark, "fig14")
+    degraded = result.lookup(experiment="degraded_search", mode="degraded")
+    # degraded reads work and cost real throughput (paper: 0.53x)
+    assert 0.15 < degraded["ratio"] < 0.95
+    reclaimed = result.lookup(experiment="reclaimed_update",
+                              mode="reclaimed")
+    # reclamation's cost is bounded (paper: 0.97x)
+    assert reclaimed["ratio"] > 0.5

@@ -1,0 +1,21 @@
+"""Fig. 15 — throughput across UPDATE:SEARCH ratios."""
+
+from conftest import regen
+
+
+def test_fig15_monotone_and_ordered(benchmark):
+    result = regen(benchmark, "fig15")
+    for system in ("aceso", "fusee"):
+        read_only = result.lookup(update_ratio=0.0, system=system)["mops"]
+        write_only = result.lookup(update_ratio=1.0, system=system)["mops"]
+        assert write_only < read_only, system  # updates cost more I/O
+    for ratio in (0.25, 0.5, 0.75, 1.0):
+        aceso = result.lookup(update_ratio=ratio, system="aceso")["mops"]
+        fusee = result.lookup(update_ratio=ratio, system="fusee")["mops"]
+        assert aceso > fusee * 0.95, ratio
+    # the gap widens with the update share
+    gap_low = (result.lookup(update_ratio=0.25, system="aceso")["mops"]
+               / result.lookup(update_ratio=0.25, system="fusee")["mops"])
+    gap_high = (result.lookup(update_ratio=1.0, system="aceso")["mops"]
+                / result.lookup(update_ratio=1.0, system="fusee")["mops"])
+    assert gap_high > gap_low * 0.9

@@ -1,0 +1,18 @@
+"""Fig. 16 — recovery time vs lost data size."""
+
+from conftest import regen
+
+
+def test_fig16_block_time_scales_index_flat(benchmark):
+    result = regen(benchmark, "fig16")
+    rows = sorted(result.rows, key=lambda r: r["lost_mb"])
+    assert rows[-1]["lost_mb"] > rows[0]["lost_mb"]
+    # Block-Area recovery grows with the lost data
+    assert rows[-1]["block_ms"] > rows[0]["block_ms"]
+    # Index-Area recovery stays within a small band (checkpointing caps
+    # the scan; paper: always under a second)
+    index_times = [r["index_ms"] for r in rows]
+    assert max(index_times) < 6 * max(min(index_times), 0.5)
+    # Meta recovery is flat and tiny
+    meta_times = [r["meta_ms"] for r in rows]
+    assert max(meta_times) < 0.25 * max(r["total_ms"] for r in rows)

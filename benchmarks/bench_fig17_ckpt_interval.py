@@ -1,0 +1,10 @@
+"""Fig. 17 — throughput vs checkpoint interval."""
+
+from conftest import regen
+
+
+def test_fig17_interval_has_minimal_impact(benchmark):
+    result = regen(benchmark, "fig17")
+    for op in ("UPDATE", "SEARCH"):
+        series = [row["mops"] for row in result.rows if row["op"] == op]
+        assert min(series) > 0.6 * max(series), (op, series)

@@ -1,0 +1,13 @@
+"""Fig. 18 — recovery time vs checkpoint interval."""
+
+from conftest import regen
+
+
+def test_fig18_longer_interval_longer_index_recovery(benchmark):
+    result = regen(benchmark, "fig18")
+    rows = result.rows  # ordered by growing interval
+    # more un-checkpointed state => more KV pairs to scan
+    assert rows[-1]["index_ms"] > rows[0]["index_ms"] * 0.9
+    assert max(r["index_ms"] for r in rows) == \
+        max((r["index_ms"] for r in rows[2:]),
+            default=rows[-1]["index_ms"])

@@ -1,0 +1,17 @@
+"""Fig. 19 — differential checkpointing across index sizes (real bytes)."""
+
+from conftest import regen
+
+
+def test_fig19_deltas_small_steps_scale(benchmark):
+    result = regen(benchmark, "fig19")
+    rows = sorted(result.rows, key=lambda r: r["index_mb"])
+    for row in rows:
+        # the compressed delta is a small fraction of the index (paper:
+        # 27 MB for 2 GB)
+        assert row["delta_mb"] < 0.35 * row["index_mb"], row
+    # per-step wall time scales with the index size
+    assert rows[-1]["copy_xor_ms"] > rows[0]["copy_xor_ms"]
+    assert rows[-1]["compress_ms"] > rows[0]["compress_ms"]
+    # delta size grows with index size (more slots dirtied per round)
+    assert rows[-1]["delta_mb"] > rows[0]["delta_mb"]

@@ -1,0 +1,13 @@
+"""Fig. 20 — impact of the memory block size."""
+
+from conftest import regen
+
+
+def test_fig20_update_rises_with_block_size(benchmark):
+    result = regen(benchmark, "fig20")
+    rows = sorted(result.rows, key=lambda r: r["block_kb"])
+    # fewer allocation RPCs per write => higher UPDATE throughput
+    assert rows[-1]["update_mops"] > rows[0]["update_mops"]
+    # recovery completes at every block size
+    for row in rows:
+        assert row["total_ms"] > 0

@@ -1,0 +1,17 @@
+"""Table 2 — MN recovery breakdown, XOR vs Reed-Solomon."""
+
+from conftest import regen
+
+
+def test_tab02_xor_beats_rs(benchmark):
+    result = regen(benchmark, "tab02")
+    xor = result.lookup(codec="xor")
+    rs = result.lookup(codec="rs")
+    # raw encode throughput: XOR clearly faster (paper: +68%)
+    assert xor["test_gbps"] > rs["test_gbps"] * 1.2
+    # erasure-coding stages of recovery favour XOR
+    assert xor["recover_lblock_ms"] <= rs["recover_lblock_ms"] * 1.1
+    # non-coding stages are comparable
+    assert xor["read_ckpt_ms"] <= rs["read_ckpt_ms"] * 1.5
+    # overall, XOR does not lose (paper: 18% total saving)
+    assert xor["total_ms"] <= rs["total_ms"] * 1.05

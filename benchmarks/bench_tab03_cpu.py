@@ -1,0 +1,14 @@
+"""Table 3 — MN server core utilisation under 100% writes."""
+
+from conftest import regen
+
+
+def test_tab03_cores_below_half(benchmark):
+    result = regen(benchmark, "tab03")
+    for row in result.rows:
+        assert 0.0 <= row["utilisation"] < 0.75, row
+    # the RPC-serving core is the lightest (paper: 3.8%)
+    rpc = result.lookup(core="rpc")["utilisation"]
+    others = [row["utilisation"] for row in result.rows
+              if row["core"] != "rpc"]
+    assert rpc <= max(others) + 0.05

@@ -1,0 +1,33 @@
+"""Shared fixtures for the pytest-benchmark wrappers.
+
+Each ``bench_*.py`` module regenerates one table/figure of the paper at
+the ``smoke`` scale, asserts its expected *shape* (who wins, monotonicity,
+crossovers), and reports the wall time through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_figure
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return "smoke"
+
+
+def regen(benchmark, name: str, scale: str = "smoke"):
+    """Run one figure regeneration under pytest-benchmark (one round —
+    each run builds whole clusters; variance across rounds is meaningless
+    next to the shape assertions)."""
+    result = benchmark.pedantic(run_figure, args=(name,),
+                                kwargs={"scale": scale},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Failure-recovery timeline demo (§3.4 of the paper).
+
+Kills a memory node in the middle of live traffic and narrates the tiered
+recovery: failure detection, Meta-Area restore, Index-Area restore (writes
+resume, reads degraded), Block-Area restore (full service), then does the
+same for a compute-node crash with a torn write.
+
+Run:  python examples/failure_recovery_demo.py
+"""
+
+from repro import AcesoCluster, aceso_config
+from repro.cluster.failures import FailureInjector
+from repro.cluster.master import MnState
+from repro.workloads import WorkloadRunner, load_ops, micro_stream
+from repro.workloads.micro import micro_key
+
+
+def timeline(cluster, victim: int):
+    master = cluster.master
+    env = cluster.env
+    ev = master.milestone(victim, MnState.RECOVERED)
+    if not ev.triggered:
+        env.run_until_event(ev, limit=env.now + 300)
+    report = cluster._recovery.reports[-1]
+    t0 = report.started_at
+    print(f"t={t0 * 1e3:8.3f} ms  MN {victim} recovery begins "
+          f"(index partition + blocks lost)")
+    print(f"t={report.meta_done_at * 1e3:8.3f} ms  Meta Area restored "
+          f"(+{report.meta_time * 1e3:.3f} ms)")
+    print(f"t={report.index_done_at * 1e3:8.3f} ms  Index Area restored -> "
+          f"writes resume, reads degraded (+{report.index_time * 1e3:.3f} ms)")
+    print(f"t={report.blocks_done_at * 1e3:8.3f} ms  Block Area restored -> "
+          f"full service (+{report.block_time * 1e3:.3f} ms)")
+
+
+def main() -> None:
+    config = aceso_config(num_cns=2, clients_per_cn=2,
+                          block_size=32 * 1024, blocks_per_mn=256,
+                          kv_size=256)
+    cluster = AcesoCluster(config)
+    runner = WorkloadRunner(cluster)
+    keys = 400
+    runner.load([load_ops(c.cli_id, keys, 180) for c in cluster.clients])
+    print(f"loaded {keys * len(cluster.clients)} KV pairs; "
+          f"t={cluster.env.now * 1e3:.2f} ms\n")
+
+    print("== memory-node crash under live traffic ==")
+    victim = 2
+    injector = FailureInjector(cluster.env, cluster)
+    injector.schedule_mn_crash(cluster.env.now + 0.005, victim)
+    streams = [micro_stream("UPDATE" if c.cli_id % 2 else "SEARCH",
+                            c.cli_id, keys, 180) for c in cluster.clients]
+    result = runner.measure(streams, duration=0.005)  # run into the crash
+    timeline(cluster, victim)
+    report = cluster._recovery.reports[-1]
+    print(f"\nrecovery breakdown: scanned {report.kv_count} KV pairs, "
+          f"re-applied {report.applied_slots} index slots, "
+          f"decoded {report.lblock_count + report.old_count} lost blocks")
+
+    missing = 0
+    reader = cluster.clients[0]
+    for client in cluster.clients:
+        for i in range(keys):
+            try:
+                cluster.run_op(reader.search(micro_key(client.cli_id, i)))
+            except Exception:
+                missing += 1
+    print(f"post-recovery audit: {missing} of "
+          f"{keys * len(cluster.clients)} keys missing")
+
+    print("\n== compute-node crash with a torn write ==")
+    victim_client = cluster.clients[1]
+    for i in range(25):
+        cluster.run_op(victim_client.update(
+            micro_key(victim_client.cli_id, i), b"CN-data" * 20))
+    # Manufacture a torn write: KV bytes land, the delta never does.
+    block = victim_client.blocks.open_block(256)
+    if block is not None and not block.exhausted:
+        from repro.core.kvpair import encode_kv
+        slot = block.take_slot()
+        addr = block.kv_address(slot)
+        cluster.mns[addr.node_id].write_bytes(
+            addr.offset, encode_kv(b"torn", b"half-written", 7, 256))
+        print("injected a torn KV write (no matching delta)")
+    cluster.crash_cn(victim_client.cn.node_id)
+    print(f"CN {victim_client.cn.node_id} crashed; restarting its client "
+          "elsewhere...")
+    new_client, proc = cluster.restart_client(victim_client)
+    cluster.env.run_until_event(proc, limit=cluster.env.now + 60)
+    value = cluster.run_op(reader.search(
+        micro_key(victim_client.cli_id, 7)))
+    print(f"committed data intact after CN recovery: {value[:7]!r}...")
+    print("torn write rolled back; unfilled blocks sealed (no leaks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Memory-space efficiency report — the paper's Fig. 12 at example scale.
+
+Both systems ingest the same bulk write workload; the script then breaks
+the Block Area down into valid data, redundancy (replicas vs parity),
+delta blocks, and unused tails — and shows erasure coding's space saving.
+
+Run:  python examples/space_efficiency.py
+"""
+
+from repro import aceso_config, fusee_config
+from repro.baselines.fusee import FuseeCluster
+from repro.core.store import AcesoCluster
+from repro.workloads import WorkloadRunner, load_ops
+
+KEYS_PER_CLIENT = 2048     # ~8 full blocks per client
+VALUE_SIZE = 192
+
+
+def build_and_load(system: str):
+    kwargs = dict(num_cns=2, clients_per_cn=2, index_buckets=4096,
+                  blocks_per_mn=160, block_size=64 * 1024, kv_size=256)
+    cluster = (AcesoCluster(aceso_config(**kwargs)) if system == "aceso"
+               else FuseeCluster(fusee_config(replication_factor=3,
+                                              **kwargs)))
+    cluster.start()
+    runner = WorkloadRunner(cluster)
+    runner.load([load_ops(c.cli_id, KEYS_PER_CLIENT, VALUE_SIZE)
+                 for c in cluster.clients])
+    cluster.run(cluster.env.now + 0.1)  # drain sealing / parity folding
+    return cluster
+
+
+def main() -> None:
+    total_kvs = KEYS_PER_CLIENT * 4
+    print(f"bulk load: {total_kvs} KV pairs of 256 B "
+          f"({total_kvs * 256 / 2**20:.1f} MiB of live data)\n")
+    mib = 1 << 20
+    totals = {}
+    for system in ("fusee", "aceso"):
+        cluster = build_and_load(system)
+        dist = cluster.memory_distribution()
+        totals[system] = dist.total
+        scheme = ("3-way replication" if system == "fusee"
+                  else "X-Code-family erasure coding (3+2)")
+        print(f"== {system} ({scheme}) ==")
+        print(f"  valid data:  {dist.valid / mib:7.2f} MiB")
+        print(f"  redundancy:  {dist.redundancy / mib:7.2f} MiB")
+        print(f"  delta blocks:{dist.delta / mib:7.2f} MiB")
+        print(f"  unused tails:{dist.unused_in_open_blocks / mib:7.2f} MiB")
+        print(f"  TOTAL:       {dist.total / mib:7.2f} MiB")
+        ratio = dist.redundancy / max(dist.valid, 1)
+        print(f"  redundancy : data ratio = {ratio:.2f}"
+              f" (replication needs 2.0, parity needs ~0.67)\n")
+    saving = 1 - totals["aceso"] / totals["fusee"]
+    print(f"Aceso uses {saving:.1%} less memory for the same data and the "
+          f"same two-failure tolerance\n(the paper reports 44%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Aceso vs FUSEE on YCSB — the paper's Fig. 10 at example scale.
+
+Runs workloads A (50% update), B (95% read), and C (read-only) against
+both systems on identical simulated hardware, and prints throughput,
+latency, and why the numbers differ (CAS counts per write).
+
+Run:  python examples/ycsb_comparison.py
+"""
+
+from repro import aceso_config, fusee_config
+from repro.baselines.fusee import FuseeCluster
+from repro.core.store import AcesoCluster
+from repro.workloads import WorkloadRunner, ycsb_load_ops, ycsb_stream
+
+TOTAL_KEYS = 1000
+VALUE_SIZE = 960
+DURATION = 0.01  # simulated seconds per measurement
+
+
+def build(system: str):
+    kwargs = dict(num_cns=4, clients_per_cn=2, index_buckets=2048,
+                  blocks_per_mn=128, block_size=128 * 1024, kv_size=1024)
+    if system == "aceso":
+        cluster = AcesoCluster(aceso_config(**kwargs))
+    else:
+        cluster = FuseeCluster(fusee_config(replication_factor=3, **kwargs))
+    cluster.start()
+    return cluster
+
+
+def run_one(system: str, workload: str):
+    cluster = build(system)
+    runner = WorkloadRunner(cluster)
+    runner.load([
+        ycsb_load_ops(c.cli_id, len(cluster.clients), TOTAL_KEYS, VALUE_SIZE)
+        for c in cluster.clients
+    ])
+    streams = [ycsb_stream(workload, c.cli_id, TOTAL_KEYS, VALUE_SIZE)
+               for c in cluster.clients]
+    result = runner.measure(streams, duration=DURATION, warmup=0.002)
+    return {
+        "mops": result.total_ops / result.duration / 1e6,
+        "p50_update_us": result.p50("UPDATE"),
+        "p99_update_us": result.p99("UPDATE"),
+        "cas_per_update": result.mean_cas("UPDATE"),
+    }
+
+
+def main() -> None:
+    print(f"YCSB on {TOTAL_KEYS} keys, 1 KB values, Zipf 0.99, "
+          f"8 clients, {DURATION * 1e3:.0f} ms windows\n")
+    header = (f"{'workload':>8}  {'system':>6}  {'Mops':>6}  "
+              f"{'P50 upd us':>10}  {'P99 upd us':>10}  {'CAS/upd':>7}")
+    print(header)
+    print("-" * len(header))
+    for workload in ("A", "B", "C"):
+        baseline = None
+        for system in ("fusee", "aceso"):
+            row = run_one(system, workload)
+            if system == "fusee":
+                baseline = row["mops"]
+            gain = row["mops"] / baseline if baseline else 0.0
+            extra = f"  ({gain:.2f}x)" if system == "aceso" else ""
+            p50 = ("-" if row["p50_update_us"] != row["p50_update_us"]
+                   else f"{row['p50_update_us']:.1f}")
+            p99 = ("-" if row["p99_update_us"] != row["p99_update_us"]
+                   else f"{row['p99_update_us']:.1f}")
+            print(f"{workload:>8}  {system:>6}  {row['mops']:6.2f}  "
+                  f"{p50:>10}  {p99:>10}  "
+                  f"{row['cas_per_update']:7.2f}{extra}")
+    print("\nWhy: FUSEE commits every write with >= 3 CAS operations to "
+          "keep its index replicas consistent;\nAceso commits with one "
+          "CAS and protects the index by differential checkpointing "
+          "instead.")
+
+
+if __name__ == "__main__":
+    main()

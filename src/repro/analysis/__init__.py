@@ -1,0 +1,12 @@
+"""Analytic models complementing the simulator."""
+
+from .capacity import (
+    OpCost,
+    capacity_report,
+    op_cost,
+    predicted_capacity,
+    predicted_ratios,
+)
+
+__all__ = ["OpCost", "capacity_report", "op_cost", "predicted_capacity",
+           "predicted_ratios"]

@@ -1,0 +1,125 @@
+"""Analytic capacity model: back-of-envelope throughput from a config.
+
+This is the §2.4 arithmetic of the paper, made executable: each request
+type is a bag of verbs; each verb costs the destination NIC
+``max(op_cost + atomic_cost, bytes / bandwidth)``; aggregate saturation
+throughput is (number of MN NICs) / (per-op MN-side cost).  The model
+predicts who wins and by what factor *before* running the simulator, and
+the test suite checks the simulator agrees with it at saturation.
+
+It deliberately ignores queueing, client counts, and background traffic —
+it is an upper bound and a ratio predictor, not a latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import SystemConfig
+from ..rdma.verbs import WIRE_HEADER
+
+__all__ = ["VerbCost", "op_cost", "predicted_capacity", "predicted_ratios",
+           "capacity_report"]
+
+#: (payload bytes, is_atomic) of each verb a request issues at MNs.
+VerbCost = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """MN-side cost breakdown of one request type."""
+
+    verbs: int
+    atomic_verbs: int
+    bytes_moved: int
+    seconds: float                 # total MN NIC occupancy per op
+
+    def capacity(self, num_mns: int) -> float:
+        """Aggregate saturation throughput (ops/s) across the pool."""
+        return num_mns / self.seconds if self.seconds else float("inf")
+
+
+def _verb_seconds(cfg: SystemConfig, payload: int, atomic: bool) -> float:
+    nic = cfg.cluster.nic
+    wire = payload + WIRE_HEADER
+    op = 1.0 / nic.iops + (1.0 / nic.atomic_iops if atomic else 0.0)
+    return max(op, wire / nic.bandwidth)
+
+
+def _slot_bytes(cfg: SystemConfig) -> int:
+    kv = cfg.cluster.kv_size
+    return ((kv + 63) // 64) * 64
+
+
+def _bucket_bytes(cfg: SystemConfig) -> int:
+    slot = 16 if cfg.ft.slot_format == "wide16" else 8
+    return cfg.cluster.bucket_slots * slot
+
+
+def _verbs_for(cfg: SystemConfig, op: str) -> List[VerbCost]:
+    """The MN-side verb bag of one request under this configuration."""
+    kv = _slot_bytes(cfg)
+    bucket = _bucket_bytes(cfg)
+    slot_read = 16 if cfg.ft.slot_format == "wide16" else 8
+    replicated = cfg.ft.index_mode == "replication"
+    r = cfg.ft.replication_factor
+
+    if op == "SEARCH":
+        if cfg.ft.cache_policy == "addr_value":
+            return [(kv, False), (slot_read, False)]
+        # value-only cache: validate against the slot's bucket
+        return [(kv, False), (bucket, False)]
+
+    verbs: List[VerbCost] = []
+    payload = kv if op != "DELETE" else 64  # tombstones use the 64 B class
+    if replicated:
+        verbs += [(payload, False)] * r          # KV replicas
+        verbs += [(8, True)] * r                 # backup + primary CAS
+    else:
+        verbs += [(payload, False)]              # the KV pair
+        verbs += [(payload, False)]              # its delta (Fig. 6)
+        verbs += [(8, True)]                     # the commit CAS
+    if op == "INSERT":
+        verbs += [(bucket, False), (bucket, False)]  # bucket query
+    return verbs
+
+
+def op_cost(cfg: SystemConfig, op: str) -> OpCost:
+    verbs = _verbs_for(cfg, op)
+    seconds = sum(_verb_seconds(cfg, p, a) for p, a in verbs)
+    return OpCost(
+        verbs=len(verbs),
+        atomic_verbs=sum(1 for _p, a in verbs if a),
+        bytes_moved=sum(p for p, _a in verbs),
+        seconds=seconds,
+    )
+
+
+def predicted_capacity(cfg: SystemConfig, op: str) -> float:
+    """Saturation throughput (ops/s) for one request type."""
+    return op_cost(cfg, op).capacity(cfg.cluster.num_mns)
+
+
+def predicted_ratios(aceso: SystemConfig, fusee: SystemConfig
+                     ) -> Dict[str, float]:
+    """Aceso : FUSEE capacity ratio per op (the Fig. 8 prediction)."""
+    out = {}
+    for op in ("INSERT", "UPDATE", "SEARCH", "DELETE"):
+        out[op] = (predicted_capacity(aceso, op)
+                   / predicted_capacity(fusee, op))
+    return out
+
+
+def capacity_report(cfg: SystemConfig) -> str:
+    """Human-readable cost table for one configuration."""
+    lines = [f"capacity model for {cfg.name!r} "
+             f"({cfg.cluster.num_mns} MNs)"]
+    for op in ("INSERT", "UPDATE", "SEARCH", "DELETE"):
+        cost = op_cost(cfg, op)
+        lines.append(
+            f"  {op:<7} {cost.verbs} verbs ({cost.atomic_verbs} atomic, "
+            f"{cost.bytes_moved} B) -> {cost.seconds * 1e6:.2f} us/op, "
+            f"cap {cost.capacity(cfg.cluster.num_mns) / 1e6:.2f} Mops"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from .fusee import FuseeClient, FuseeCluster, FuseeServer
+
+__all__ = ["FuseeClient", "FuseeCluster", "FuseeServer"]

@@ -1,0 +1,422 @@
+"""FUSEE baseline (FAST'23): replication-based fault tolerance on DM.
+
+FUSEE protects the index with *n* synchronously-maintained replicas and
+the KV pairs with *n*-way replication.  Its write protocol (as analysed in
+the Aceso paper's §2.4) is what Aceso's checkpointing replaces:
+
+1. write the KV pair to all n replica locations,
+2. CAS the n-1 *backup* index slots in parallel,
+3. the winner of the first backup CAS forces the remaining backups and
+   then CASes the *primary* slot to commit — at least n CAS operations per
+   write;
+4. losers back off and retry against the new primary value.
+
+Reads use a value-only client cache: a hit still requires re-reading the
+candidate buckets to validate (the cache holds no slot address), which is
+precisely the read-amplification Aceso's addr+value cache removes
+(§3.5.1).
+
+The baseline shares the fabric, memory substrate, index geometry, and the
+client machinery of the Aceso implementation, so every measured difference
+comes from the fault-tolerance protocol — not from incidental modelling
+choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.master import Master
+from ..config import SystemConfig, fusee_config
+from ..core.api import AcesoClient, LOCK_POLL, RETRY_BUDGET
+from ..core.blockmgr import BlockGrant, OpenBlock
+from ..core.kvpair import encode_kv, kv_wire_size, wv_toggle
+from ..core.store import ClusterBase, MemoryDistribution
+from ..errors import (
+    AllocationError,
+    ConfigError,
+    IndexFullError,
+    KeyNotFoundError,
+    NodeFailedError,
+    RetryBudgetExceeded,
+)
+from ..index.cache import CacheEntry
+from ..index.hashing import fingerprint8
+from ..index.slot import AtomicField, CompactSlot, MetaField
+from ..memory.address import GlobalAddress
+from ..memory.blocks import Role
+from ..memory.slab import SIZE_UNIT
+from ..rdma.qp import RpcServer, rpc_call
+
+__all__ = ["FuseeClient", "FuseeServer", "FuseeCluster"]
+
+
+class FuseeServer:
+    """Minimal MN server for the baseline: replicated block allocation.
+
+    The leader hands out block groups: the same block id on *n*
+    consecutive MNs, so a replica of any KV byte lives at the same offset
+    on the next n-1 nodes — matching how replication-based DM KV stores
+    address replicas deterministically.
+    """
+
+    def __init__(self, env, fabric, mn, config: SystemConfig):
+        self.env = env
+        self.fabric = fabric
+        self.mn = mn
+        self.config = config
+        self.node_id = mn.node_id
+        self.servers: Dict[int, "FuseeServer"] = {}
+        self._next_primary = 0
+        mn.rpc.register("alloc_block", self.h_alloc_block)
+
+    @property
+    def rpc_server(self) -> RpcServer:
+        return self.mn.rpc
+
+    def start(self) -> None:
+        self.mn.rpc.start()
+
+    def stop(self) -> None:
+        self.mn.rpc.stop()
+
+    def h_alloc_block(self, cli_id: int, slot_size: int):
+        """Allocate one replicated block group (leader only)."""
+        r = self.config.ft.replication_factor
+        num_mns = self.config.cluster.num_mns
+        slots = self.config.cluster.block_size // slot_size
+        for _attempt in range(num_mns):
+            primary = self._next_primary % num_mns
+            self._next_primary += 1
+            nodes = [(primary + i) % num_mns for i in range(r)]
+            if not all(self.fabric.is_alive(n) for n in nodes):
+                continue
+            stores = [self.servers[n].mn.blocks for n in nodes]
+            common = self._common_free_id(stores)
+            if common is None:
+                continue
+            locs = []
+            for i, (node, store) in enumerate(zip(nodes, stores)):
+                meta = store.allocate_specific(common, Role.DATA,
+                                               cli_id=cli_id,
+                                               slot_size=slot_size,
+                                               slots=slots)
+                meta.xor_id = i  # replica rank (0 = primary)
+                meta.reuse_time = self.env.now
+                locs.append((node, common, store.offset_of(common)))
+            return BlockGrant(
+                data_node=nodes[0], data_block=common,
+                data_offset=stores[0].offset_of(common),
+                replica_locs=locs,
+            )
+        raise AllocationError("no replicated block group available")
+
+    @staticmethod
+    def _common_free_id(stores) -> Optional[int]:
+        free_sets = [set(s._free) for s in stores]
+        common = set.intersection(*free_sets)
+        return max(common) if common else None
+
+
+class FuseeClient(AcesoClient):
+    """Client speaking FUSEE's replication protocol.
+
+    Reuses the shared machinery (bucket queries, caches, slab blocks) and
+    replaces the write path and redundancy scheme.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.repl = self.config.ft.replication_factor
+        #: per-size-class free slots within this client's own blocks:
+        #: slot_size -> list of (primary GlobalAddress packed).
+        self._free_slots: Dict[int, List[int]] = {}
+        self._own_blocks: set = set()
+
+    # -- replica geometry ------------------------------------------------------
+
+    def _replica_addrs(self, primary_packed: int) -> List[GlobalAddress]:
+        ga = GlobalAddress.unpack(primary_packed)
+        return [GlobalAddress((ga.node_id + i) % self.num_mns, ga.offset)
+                for i in range(self.repl)]
+
+    def _index_nodes(self, home: int) -> List[int]:
+        """Primary + backup index MNs for one key."""
+        return [(home + i) % self.num_mns for i in range(self.repl)]
+
+    # -- reads ------------------------------------------------------------------
+
+    def _degraded_read(self, ga: GlobalAddress, length: int):
+        """Replication makes degraded reads trivial: read a replica."""
+        for i in range(1, self.repl):
+            node = (ga.node_id + i) % self.num_mns
+            if not self.fabric.is_alive(node):
+                continue
+            try:
+                raw = yield self._post_read(node, ga.offset, length)
+                self.stats.bump("degraded_reads")
+                return raw
+            except NodeFailedError:
+                continue
+        return None
+
+    # -- write path ----------------------------------------------------------------
+
+    def _write(self, key: bytes, value: bytes, op: str):
+        t0 = self.env.now
+        home = self._home(key)
+        cas_count = 0
+        retries = 0
+        while retries < RETRY_BUDGET:
+            try:
+                located = yield from self._locate_for_write(key, home, op)
+            except NodeFailedError:
+                retries += 1
+                yield self.env.timeout(LOCK_POLL)
+                continue
+            if located is None:
+                self.stats.record_error(op)
+                raise KeyNotFoundError(key)
+            bucket, slot, atomic_word, meta_word, fresh_insert = located
+            index = self._index_of(home)
+            slot_offset = index.slot_offset(bucket, slot)
+
+            # 1. write the KV pair to all n replica locations.
+            size_class = self.classer.class_for(
+                kv_wire_size(len(key), len(value))
+            )
+            primary_addr, replicas = yield from self._take_kv_slot(size_class)
+            kv_bytes = encode_kv(key, value, 0, size_class.slot_size,
+                                 write_version=1, tombstone=(op == "DELETE"))
+            write_events = []
+            for ga in replicas:
+                if self.fabric.is_alive(ga.node_id):
+                    write_events.append(
+                        self._post_write(ga.node_id, ga.offset, kv_bytes))
+            try:
+                yield self.env.all_of(write_events)
+            except NodeFailedError:
+                retries += 1
+                continue
+
+            # Compose the new slot word.
+            new_word = self._new_slot_word(key, atomic_word, primary_addr,
+                                           size_class.len_units)
+
+            # 2./3. the backup-then-primary CAS protocol.
+            outcome = yield from self._commit_replicated(
+                home, index, bucket, slot, atomic_word, new_word,
+                fresh_insert, size_class.len_units,
+            )
+            cas_count += outcome["cas"]
+            if outcome["ok"]:
+                self._reclaim_old(atomic_word, meta_word, fresh_insert)
+                self.cache.store(key, CacheEntry(
+                    atomic_word=new_word, len_units=size_class.len_units,
+                    meta_word=meta_word, slot_node=home,
+                    slot_offset=slot_offset, bucket=bucket, slot=slot,
+                ))
+                self.stats.record_op(op, self.env.now - t0, cas=cas_count,
+                                     retries=retries)
+                return
+            # Loser: our replicated KV slots become garbage we can reuse.
+            self.stats.bump("commit_conflicts")
+            self._free_slots.setdefault(size_class.slot_size, []).append(
+                primary_addr)
+            self.cache.invalidate(key)
+            retries += 1
+            yield self.env.timeout(LOCK_POLL)
+        raise RetryBudgetExceeded(f"{op} {key!r}")
+
+    def _new_slot_word(self, key: bytes, old_word: int, addr: int,
+                       len_units: int) -> int:
+        fp = fingerprint8(key)
+        if self.wide:
+            old = AtomicField.unpack(old_word)
+            return AtomicField(fp=fp, ver=(old.ver + 1) & 0xFF,
+                               addr=addr).pack()
+        return CompactSlot(fp=fp, len_units=len_units, addr=addr).pack()
+
+    def _replica_slot_offset(self, home: int, replica: int, bucket: int,
+                             slot: int) -> int:
+        """Offset of a key's slot in replica *replica*'s sub-index (which
+        lives on MN home+replica)."""
+        node = (home + replica) % self.num_mns
+        return self.mns[node].index_views[replica].slot_offset(bucket, slot)
+
+    def _commit_replicated(self, home, index, bucket, slot, old_word,
+                           new_word, fresh_insert, len_units):
+        """The n-CAS index commit of §2.4."""
+        nodes = self._index_nodes(home)
+        cas = 0
+
+        if self.wide and fresh_insert:
+            meta_word = MetaField(0, len_units).pack()
+            meta_events = []
+            for i, n in enumerate(nodes):
+                if self.fabric.is_alive(n):
+                    view = self.mns[n].index_views[i]
+                    meta_events.append(self._post_write(
+                        n, view.meta_offset(bucket, slot),
+                        meta_word.to_bytes(8, "little"),
+                    ))
+            try:
+                yield self.env.all_of(meta_events)
+            except NodeFailedError:
+                pass
+
+        backups = [(i, n) for i, n in enumerate(nodes)
+                   if i > 0 and self.fabric.is_alive(n)]
+        backup_events = [
+            self._post_cas(n, self._replica_slot_offset(home, i, bucket, slot),
+                           old_word, new_word)
+            for i, n in backups
+        ]
+        results = []
+        if backup_events:
+            cas += len(backup_events)
+            try:
+                results = yield self.env.all_of(backup_events)
+            except NodeFailedError:
+                results = [(False, 0)] * len(backup_events)
+        if results and not results[0][0]:
+            return {"ok": False, "cas": cas}  # lost the first backup
+        # Winner: force any backups we lost, then commit the primary.
+        force_events = []
+        for (ok, _old), (i, n) in zip(results, backups):
+            if not ok:
+                force_events.append(self._post_write(
+                    n, self._replica_slot_offset(home, i, bucket, slot),
+                    new_word.to_bytes(8, "little")))
+        if force_events:
+            try:
+                yield self.env.all_of(force_events)
+            except NodeFailedError:
+                pass
+        cas += 1
+        try:
+            ok, _observed = yield self._post_cas(
+                home, index.slot_offset(bucket, slot), old_word, new_word)
+        except NodeFailedError:
+            return {"ok": False, "cas": cas}
+        return {"ok": ok, "cas": cas}
+
+    # -- KV slot management -----------------------------------------------------------
+
+    def _take_kv_slot(self, size_class):
+        """A slot for a new replicated KV: reuse a freed slot in one of our
+        own blocks when available (replication overwrites in place), else
+        append to the open block."""
+        free = self._free_slots.get(size_class.slot_size)
+        if free:
+            primary = free.pop()
+            return primary, self._replica_addrs(primary)
+        block, wslot = yield from self._get_write_slot(size_class)
+        block.writes_done += 1
+        primary = block.kv_address(wslot).pack()
+        self._own_blocks.add((block.grant.data_node, block.grant.data_block))
+        return primary, self._replica_addrs(primary)
+
+    # _get_write_slot (with block prefetching) is inherited from
+    # AcesoClient; FUSEE's grants are never `reused`, its seals are
+    # rejected by FuseeServer (no handler) and tolerated.
+
+    def _seal_async(self, block) -> None:
+        return  # replication has no sealing / delta folding
+
+    def _reclaim_old(self, old_word: int, meta_word: int,
+                     fresh_insert: bool) -> None:
+        """Replication reclaims in place: remember the superseded slot if
+        it lives in one of this client's own blocks."""
+        if fresh_insert:
+            return
+        addr = old_word & ((1 << 48) - 1)
+        if addr == 0:
+            return
+        ga = GlobalAddress.unpack(addr)
+        if self.wide:
+            len_units = (meta_word & 0xFF) or 1
+        else:
+            len_units = ((old_word >> 48) & 0xFF) or 1
+        size_class = self.classer.class_for_len_units(len_units)
+        block_id, _intra = self._locate_block_slot(ga)
+        if block_id is not None and \
+                (ga.node_id, block_id) in self._own_blocks:
+            self._free_slots.setdefault(size_class.slot_size, []).append(addr)
+
+    # FUSEE has no bitmap flushing; neutralise the background loop.
+    def _bitmap_flush_loop(self):
+        return
+        yield  # pragma: no cover
+
+
+class FuseeCluster(ClusterBase):
+    """The FUSEE baseline system."""
+
+    def __init__(self, config: Optional[SystemConfig] = None, env=None):
+        if config is None:
+            config = fusee_config()
+        if config.ft.kv_scheme != "replication" \
+                or config.ft.index_mode != "replication":
+            raise ConfigError("FuseeCluster requires replication modes")
+        super().__init__(config, env)
+        self.servers: Dict[int, FuseeServer] = {}
+        for i, mn in self.mns.items():
+            self.servers[i] = FuseeServer(self.env, self.fabric, mn, config)
+        for server in self.servers.values():
+            server.servers = self.servers
+
+        cli_id = 0
+        for cn in self.cns.values():
+            for _slot in range(config.cluster.clients_per_cn):
+                client = FuseeClient(self.env, self.fabric, config, cli_id,
+                                     cn, self.mns, self.servers, self.master,
+                                     None, None, self.stats)
+                self.clients.append(client)
+                cli_id += 1
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for server in self.servers.values():
+            server.start()
+        for client in self.clients:
+            client.start_background()
+
+    def crash_mn(self, node_id: int) -> None:
+        self.servers[node_id].stop()
+        self.mns[node_id].crash()
+        self.master.report_mn_failure(node_id)
+
+    def memory_distribution(self) -> MemoryDistribution:
+        """Fig. 12 accounting: replica ranks > 0 are pure redundancy."""
+        block_size = self.config.cluster.block_size
+        valid = obsolete = redundancy = unused = 0
+        open_fill: Dict[Tuple[int, int], int] = {}
+        free_counts: Dict[Tuple[int, int], int] = {}
+        for client in self.clients:
+            for block in (list(client.blocks.all_open())
+                          + list(client._prefetched.values())):
+                open_fill[(block.grant.data_node, block.grant.data_block)] \
+                    = block.writes_done
+            for slot_size, frees in client._free_slots.items():
+                for addr in frees:
+                    ga = GlobalAddress.unpack(addr)
+                    blk, _ = self.mns[ga.node_id].blocks.locate(ga.offset)
+                    key = (ga.node_id, blk)
+                    free_counts[key] = free_counts.get(key, 0) + 1
+        for i, mn in self.mns.items():
+            for meta in mn.blocks.meta:
+                if meta.role is not Role.DATA or not meta.slots:
+                    continue
+                if meta.xor_id > 0:
+                    redundancy += block_size
+                    continue
+                written = open_fill.get((i, meta.block_id), meta.slots)
+                dead = free_counts.get((i, meta.block_id), 0)
+                unused += (meta.slots - written) * meta.slot_size
+                unused += block_size - meta.slots * meta.slot_size  # slack
+                valid += max(written - dead, 0) * meta.slot_size
+                obsolete += dead * meta.slot_size
+        return MemoryDistribution(valid, obsolete, redundancy, 0, unused)

@@ -1,0 +1,43 @@
+"""CLI entry point: ``python -m repro.bench <figure|all|list>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY, SCALES, run_figure
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Aceso paper's tables and figures "
+                    "on the simulated cluster.",
+    )
+    parser.add_argument("target", nargs="?", default="list",
+                        help="figure id (e.g. fig8, tab02), 'all', or "
+                             "'list'")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="benchmark geometry tier (default: smoke)")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        print("Available targets:")
+        for name in sorted(REGISTRY):
+            print(f"  {name}")
+        return 0
+
+    targets = sorted(REGISTRY) if args.target == "all" else [args.target]
+    for name in targets:
+        start = time.perf_counter()
+        result = run_figure(name, scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name}: {elapsed:.1f}s wall at scale={args.scale}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

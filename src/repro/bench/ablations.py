@@ -1,0 +1,136 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate individual Aceso mechanisms:
+
+* ``recovery_pipeline`` — the two-stage read/decode pipeline of §3.4.1
+  remark 1, on vs off (block-recovery time).
+* ``ckpt_compression`` — differential checkpointing with vs without
+  compression (bytes on the wire per round and SEARCH throughput).
+* ``codec_writes`` — XOR vs RS codec under a 100% UPDATE load: since
+  erasure coding is *offline* (§3.3.2), the client-visible write path
+  should be nearly identical; only the MN EC-core utilisation differs.
+"""
+
+from __future__ import annotations
+
+from ..workloads import WorkloadRunner, load_ops
+from .common import (
+    FigureResult,
+    Scale,
+    build_cluster,
+    load_micro,
+    micro_throughput,
+)
+from .fig_recovery import crash_recover_report
+
+__all__ = ["run_ablation_pipeline", "run_ablation_compression",
+           "run_ablation_codec_writes", "run_ablation_parallel_recovery"]
+
+
+def run_ablation_parallel_recovery(scale: Scale) -> FigureResult:
+    """The paper's stated future work: distribute stripe recovery across
+    CN workers (RAMCloud-style) instead of one recovering server."""
+    result = FigureResult(
+        figure="abl-parallel-recovery",
+        title="Extension: parallel stripe-recovery workers (paper's "
+              "future work)",
+        columns=["workers", "index_ms", "block_ms", "total_ms"],
+        notes="Expected: worker fan-out shortens block recovery — shard "
+              "reads spread over many CN NICs and only reconstructed "
+              "blocks reach the recovering MN.",
+    )
+    for workers in (1, 2, 4):
+        def mutate(cfg, workers=workers):
+            cfg.coding.recovery_workers = workers
+            cfg.checkpoint.interval = 0.02
+
+        cluster = build_cluster("aceso", scale, mutate=mutate)
+        runner = WorkloadRunner(cluster)
+        from .fig_recovery import recovery_keys
+        keys = recovery_keys(scale, blocks_per_client=4.0)
+        runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64)
+                     for c in cluster.clients])
+        cluster.run(cluster.env.now + 0.2)
+        report = crash_recover_report(cluster)
+        result.add(workers=workers,
+                   index_ms=report.index_time * 1e3,
+                   block_ms=report.block_time * 1e3,
+                   total_ms=report.total_time * 1e3)
+    return result
+
+
+def run_ablation_pipeline(scale: Scale) -> FigureResult:
+    result = FigureResult(
+        figure="abl-pipeline",
+        title="Ablation: two-stage recovery pipelining",
+        columns=["pipeline", "lblock_ms", "old_ms", "total_ms"],
+        notes="Expected: pipelining overlaps stripe reads with decode, "
+              "shortening block recovery.",
+    )
+    for pipeline in (True, False):
+        def mutate(cfg, pipeline=pipeline):
+            cfg.coding.recovery_pipeline = pipeline
+            cfg.checkpoint.interval = 0.02
+
+        cluster = build_cluster("aceso", scale, mutate=mutate)
+        runner = WorkloadRunner(cluster)
+        runner.load([load_ops(c.cli_id, scale.keys_per_client,
+                              scale.kv_size - 64)
+                     for c in cluster.clients])
+        cluster.run(cluster.env.now + 0.2)
+        report = crash_recover_report(cluster)
+        result.add(pipeline=pipeline,
+                   lblock_ms=report.recover_lblock_s * 1e3,
+                   old_ms=report.recover_old_s * 1e3,
+                   total_ms=report.total_time * 1e3)
+    return result
+
+
+def run_ablation_compression(scale: Scale) -> FigureResult:
+    result = FigureResult(
+        figure="abl-compression",
+        title="Ablation: checkpoint delta compression",
+        columns=["compression", "ckpt_bytes_per_round", "search_mops"],
+        notes="Expected: compression shrinks checkpoint traffic by orders "
+              "of magnitude, protecting read throughput.",
+    )
+    for compression in ("zlib", "none"):
+        def mutate(cfg, compression=compression):
+            cfg.checkpoint.compression = compression
+            cfg.checkpoint.interval = 0.005
+
+        cluster = build_cluster("aceso", scale, mutate=mutate)
+        runner = load_micro(cluster, scale)
+        res = micro_throughput(cluster, scale, "SEARCH", runner=runner)
+        rounds = max(1, cluster.checkpoint_rounds())
+        shipped = cluster.fabric.bytes_by_class.get("checkpoint", 0)
+        result.add(compression=compression,
+                   ckpt_bytes_per_round=shipped // rounds,
+                   search_mops=res.throughput("SEARCH") / 1e6)
+    return result
+
+
+def run_ablation_codec_writes(scale: Scale) -> FigureResult:
+    result = FigureResult(
+        figure="abl-codec",
+        title="Ablation: XOR vs RS under 100% UPDATEs (offline EC)",
+        columns=["codec", "update_mops", "ec_core_util"],
+        notes="Expected: client throughput nearly identical (coding is "
+              "off the critical path); the RS EC core works harder.",
+    )
+    for codec in ("xor", "rs"):
+        def mutate(cfg, codec=codec):
+            cfg.coding.codec = codec
+
+        cluster = build_cluster("aceso", scale, mutate=mutate)
+        runner = load_micro(cluster, scale)
+        for mn in cluster.mns.values():
+            mn.ec_core.reset_accounting()
+        start = cluster.env.now
+        res = micro_throughput(cluster, scale, "UPDATE", runner=runner)
+        window = cluster.env.now - start
+        util = sum(mn.ec_core.utilisation(window)
+                   for mn in cluster.mns.values()) / len(cluster.mns)
+        result.add(codec=codec, update_mops=res.throughput("UPDATE") / 1e6,
+                   ec_core_util=util)
+    return result

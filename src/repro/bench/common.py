@@ -1,0 +1,214 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every figure/table of the paper's §4 has a runner module in this package;
+each exposes ``run(scale)`` returning a :class:`FigureResult` whose rows
+are the same series the paper plots.  ``scale`` picks the geometry:
+
+* ``"smoke"`` — seconds-scale, used by the pytest-benchmark wrappers and
+  CI; shapes hold but are noisy;
+* ``"small"`` — the default for `python -m repro.bench`, a few minutes
+  for the full set; all headline shape assertions hold.
+
+Absolute numbers differ from the paper (its testbed is 28 physical
+machines; ours is a calibrated simulator) — the *shapes* are the
+reproduction target, and each runner documents the expected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..baselines.fusee import FuseeCluster
+from ..config import SystemConfig, aceso_config, factor_config, fusee_config
+from ..core.store import AcesoCluster
+from ..workloads import (
+    WorkloadRunner,
+    load_ops,
+    micro_stream,
+    twitter_stream,
+    ycsb_load_ops,
+    ycsb_stream,
+)
+
+__all__ = ["FigureResult", "Scale", "SCALES", "build_cluster",
+           "micro_throughput", "run_mix", "format_table"]
+
+OPS = ("INSERT", "UPDATE", "SEARCH", "DELETE")
+
+
+@dataclass
+class Scale:
+    """Benchmark geometry for one scale tier."""
+
+    name: str
+    num_cns: int
+    clients_per_cn: int
+    index_buckets: int
+    blocks_per_mn: int
+    block_size: int
+    kv_size: int
+    keys_per_client: int
+    total_keys: int              # shared key space (YCSB/Twitter)
+    duration: float              # measurement window (simulated seconds)
+    warmup: float
+
+    def cluster_kwargs(self) -> Dict:
+        return dict(num_cns=self.num_cns,
+                    clients_per_cn=self.clients_per_cn,
+                    index_buckets=self.index_buckets,
+                    blocks_per_mn=self.blocks_per_mn,
+                    block_size=self.block_size,
+                    kv_size=self.kv_size)
+
+
+SCALES: Dict[str, Scale] = {
+    # 12+ clients with 1 KB KVs saturate the scaled MN NICs on writes
+    # (the paper's operating point), with a CN:MN ratio high enough that
+    # client-side NICs never bottleneck (paper: 23 CNs vs 5 MNs).
+    "smoke": Scale(name="smoke", num_cns=6, clients_per_cn=2,
+                   index_buckets=4096, blocks_per_mn=96,
+                   block_size=256 * 1024, kv_size=1024,
+                   keys_per_client=150, total_keys=1200,
+                   duration=0.01, warmup=0.002),
+    "small": Scale(name="small", num_cns=12, clients_per_cn=2,
+                   index_buckets=8192, blocks_per_mn=160,
+                   block_size=256 * 1024, kv_size=1024,
+                   keys_per_client=250, total_keys=3000,
+                   duration=0.02, warmup=0.005),
+}
+
+
+@dataclass
+class FigureResult:
+    """Rows regenerated for one paper figure/table."""
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def series(self, key: str, where: Optional[Dict] = None) -> List:
+        out = []
+        for row in self.rows:
+            if where and any(row.get(k) != v for k, v in where.items()):
+                continue
+            out.append(row[key])
+        return out
+
+    def lookup(self, **where):
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in where.items()):
+                return row
+        raise KeyError(f"no row matching {where} in {self.figure}")
+
+    def render(self) -> str:
+        return format_table(self.figure + " — " + self.title,
+                            self.columns, self.rows, self.notes)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Dict], notes: str = "") -> str:
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: fmt(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+        rendered.append(cells)
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+    for cells in rendered:
+        lines.append("  ".join(cells[c].rjust(widths[c]) for c in columns))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# cluster construction + measurement helpers
+# ----------------------------------------------------------------------
+
+def build_cluster(system: str, scale: Scale, *, replication_factor: int = 3,
+                  mutate: Optional[Callable[[SystemConfig], None]] = None):
+    """Build and start one system under test.
+
+    ``system``: "aceso", "fusee", or a factor step ("origin", "+slot",
+    "+ckpt", "+cache").  ``mutate`` may adjust the config (checkpoint
+    interval, codec, ...) before construction.
+    """
+    kwargs = scale.cluster_kwargs()
+    if system == "aceso":
+        cfg = aceso_config(**kwargs)
+    elif system == "fusee":
+        cfg = fusee_config(replication_factor=replication_factor, **kwargs)
+    else:
+        cfg = factor_config(system, **kwargs)
+    if mutate is not None:
+        mutate(cfg)
+        cfg.validate()
+    if cfg.ft.index_mode == "replication":
+        cluster = FuseeCluster(cfg)
+    else:
+        cluster = AcesoCluster(cfg)
+    cluster.start()
+    return cluster
+
+
+def load_micro(cluster, scale: Scale) -> WorkloadRunner:
+    runner = WorkloadRunner(cluster)
+    runner.load([load_ops(c.cli_id, scale.keys_per_client,
+                          scale.kv_size - 64)
+                 for c in cluster.clients])
+    return runner
+
+
+def micro_throughput(cluster, scale: Scale, op: str,
+                     runner: Optional[WorkloadRunner] = None):
+    """Measure one microbenchmark op type; returns the RunResult."""
+    if runner is None:
+        runner = load_micro(cluster, scale)
+    streams = [micro_stream(op, c.cli_id, scale.keys_per_client,
+                            scale.kv_size - 64)
+               for c in cluster.clients]
+    return runner.measure(streams, duration=scale.duration,
+                          warmup=scale.warmup)
+
+
+def run_mix(cluster, scale: Scale, stream_factory: Callable[[int], Iterator],
+            *, load_shared: bool = True):
+    """Load the shared YCSB-style key space and measure a mixed stream."""
+    runner = WorkloadRunner(cluster)
+    if load_shared:
+        runner.load([
+            ycsb_load_ops(c.cli_id, len(cluster.clients), scale.total_keys,
+                          scale.kv_size - 64)
+            for c in cluster.clients
+        ])
+    streams = [stream_factory(c.cli_id) for c in cluster.clients]
+    return runner.measure(streams, duration=scale.duration,
+                          warmup=scale.warmup)
+
+
+def ycsb_result(cluster, scale: Scale, workload: str):
+    return run_mix(cluster, scale,
+                   lambda cli_id: ycsb_stream(workload, cli_id,
+                                              scale.total_keys,
+                                              scale.kv_size - 64))
+
+
+def twitter_result(cluster, scale: Scale, trace: str):
+    return run_mix(cluster, scale,
+                   lambda cli_id: twitter_stream(trace, cli_id,
+                                                 scale.total_keys,
+                                                 scale.kv_size - 64))

@@ -1,0 +1,42 @@
+"""Fig. 13 — factor analysis: the evolution from FUSEE to Aceso (§4.4).
+
+Four configurations, cumulative:
+
+* ORIGIN — FUSEE (compact 8 B slots, replicated index+KVs, value cache);
+* +SLOT  — 16 B slots (bandwidth cost on reads, writes unaffected);
+* +CKPT  — checkpointed index + erasure-coded KVs (big write win, small
+  read dip from checkpoint bandwidth);
+* +CACHE — the addr+value cache (read recovery) = full Aceso.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    OPS,
+    FigureResult,
+    Scale,
+    build_cluster,
+    load_micro,
+    micro_throughput,
+)
+
+__all__ = ["run_fig13", "FACTOR_STEPS"]
+
+FACTOR_STEPS = ("origin", "+slot", "+ckpt", "+cache")
+
+
+def run_fig13(scale: Scale) -> FigureResult:
+    result = FigureResult(
+        figure="fig13",
+        title="Factor analysis: ORIGIN -> +SLOT -> +CKPT -> +CACHE",
+        columns=["step", "op", "mops"],
+        notes="Expected: +SLOT dips reads; +CKPT boosts writes sharply; "
+              "+CACHE recovers reads above ORIGIN.",
+    )
+    for step in FACTOR_STEPS:
+        cluster = build_cluster(step, scale)
+        runner = load_micro(cluster, scale)
+        for op in OPS:
+            res = micro_throughput(cluster, scale, op, runner=runner)
+            result.add(step=step, op=op, mops=res.throughput(op) / 1e6)
+    return result

@@ -1,0 +1,63 @@
+"""Figs. 8 & 9 — microbenchmark throughput and latency (§4.2).
+
+One run measures both: Aceso vs FUSEE across the four request types on
+conflict-free per-client key ranges.  Expected shapes: Aceso improves
+writes ~2-2.7x (single-CAS commit vs n-CAS replication; DELETE gains the
+most) and reads modestly; P50/P99 latencies drop for writes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .common import (
+    OPS,
+    FigureResult,
+    Scale,
+    build_cluster,
+    load_micro,
+    micro_throughput,
+)
+
+__all__ = ["run_micro_comparison", "run_fig8", "run_fig9"]
+
+
+def run_micro_comparison(scale: Scale) -> Tuple[FigureResult, FigureResult]:
+    tpt = FigureResult(
+        figure="fig8",
+        title="Microbenchmark throughput, Aceso vs FUSEE",
+        columns=["system", "op", "mops", "vs_fusee"],
+        notes="Expected: Aceso wins all writes (paper: up to 2.67x on "
+              "DELETE), modest SEARCH gain.",
+    )
+    lat = FigureResult(
+        figure="fig9",
+        title="Microbenchmark P50/P99 latency (us), Aceso vs FUSEE",
+        columns=["system", "op", "p50_us", "p99_us"],
+        notes="Expected: Aceso cuts write latencies (paper: up to 62% "
+              "P50, 54% P99).",
+    )
+    throughput = {}
+    for system in ("fusee", "aceso"):
+        cluster = build_cluster(system, scale)
+        runner = load_micro(cluster, scale)
+        for op in OPS:
+            res = micro_throughput(cluster, scale, op, runner=runner)
+            throughput[(system, op)] = res.throughput(op)
+            lat.add(system=system, op=op, p50_us=res.p50(op),
+                    p99_us=res.p99(op))
+    for system in ("fusee", "aceso"):
+        for op in OPS:
+            mops = throughput[(system, op)] / 1e6
+            base = throughput[("fusee", op)]
+            tpt.add(system=system, op=op, mops=mops,
+                    vs_fusee=throughput[(system, op)] / base if base else 0.0)
+    return tpt, lat
+
+
+def run_fig8(scale: Scale) -> FigureResult:
+    return run_micro_comparison(scale)[0]
+
+
+def run_fig9(scale: Scale) -> FigureResult:
+    return run_micro_comparison(scale)[1]

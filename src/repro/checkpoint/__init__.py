@@ -1,0 +1,22 @@
+"""Differential index checkpointing (snapshot, XOR delta, compression)."""
+
+from .compress import Compressor, NullCompressor, ZlibCompressor, make_compressor
+from .differential import (
+    CheckpointDelta,
+    CheckpointImage,
+    DifferentialCheckpointer,
+    StepTimings,
+    xor_bytes,
+)
+
+__all__ = [
+    "Compressor",
+    "NullCompressor",
+    "ZlibCompressor",
+    "make_compressor",
+    "CheckpointDelta",
+    "CheckpointImage",
+    "DifferentialCheckpointer",
+    "StepTimings",
+    "xor_bytes",
+]

@@ -1,0 +1,66 @@
+"""Pluggable compression for checkpoint deltas.
+
+The paper uses LZ4 for its speed and notes the algorithm is orthogonal to
+the design.  LZ4 is not available offline, so the default is zlib at level
+1 — the same role (fast byte-stream compression of a mostly-zero XOR
+delta); a null compressor is provided for ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+
+from ..errors import ConfigError
+
+__all__ = ["Compressor", "ZlibCompressor", "NullCompressor", "make_compressor"]
+
+
+class Compressor(abc.ABC):
+    """Byte-stream compressor interface."""
+
+    name: str
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        ...
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        ...
+
+
+class ZlibCompressor(Compressor):
+    """zlib-backed compressor (LZ4 stand-in; see DESIGN.md)."""
+
+    def __init__(self, level: int = 1):
+        if not 0 <= level <= 9:
+            raise ConfigError(f"zlib level out of range: {level}")
+        self.level = level
+        self.name = f"zlib{level}"
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return zlib.decompress(data)
+
+
+class NullCompressor(Compressor):
+    """Identity "compression" — the no-compression ablation."""
+
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+
+def make_compressor(name: str, level: int = 1) -> Compressor:
+    if name == "zlib":
+        return ZlibCompressor(level)
+    if name == "none":
+        return NullCompressor()
+    raise ConfigError(f"unknown compressor {name!r}")

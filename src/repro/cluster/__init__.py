@@ -1,0 +1,15 @@
+"""Cluster services: node containers, the master, failure injection."""
+
+from .failures import FailureEvent, FailureInjector
+from .master import Master, MnState
+from .node import ComputeNode, MemoryNode, estimate_meta_record_size
+
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "Master",
+    "MnState",
+    "ComputeNode",
+    "MemoryNode",
+    "estimate_meta_record_size",
+]

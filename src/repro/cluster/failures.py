@@ -1,0 +1,53 @@
+"""Failure injection schedules for experiments and tests.
+
+An injector arms crash events against a running cluster object that
+exposes ``crash_mn(node_id)`` / ``crash_cn(node_id)`` (both Aceso's and
+FUSEE's top-level stores do).  Used by the recovery benchmarks (Figs. 14,
+16, 18, 20) and the fault-tolerance test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim import Environment
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    at: float                 # simulated time of the crash
+    kind: str                 # "mn" or "cn"
+    node_id: int
+
+
+class FailureInjector:
+    """Schedules fail-stop crashes against a cluster."""
+
+    def __init__(self, env: Environment, cluster):
+        self.env = env
+        self.cluster = cluster
+        self.injected: List[FailureEvent] = []
+
+    def schedule(self, event: FailureEvent) -> None:
+        if event.kind not in ("mn", "cn"):
+            raise ValueError(f"unknown failure kind {event.kind!r}")
+        self.env.process(self._fire(event), name=f"inject.{event.kind}{event.node_id}")
+
+    def schedule_mn_crash(self, at: float, node_id: int) -> None:
+        self.schedule(FailureEvent(at=at, kind="mn", node_id=node_id))
+
+    def schedule_cn_crash(self, at: float, node_id: int) -> None:
+        self.schedule(FailureEvent(at=at, kind="cn", node_id=node_id))
+
+    def _fire(self, event: FailureEvent):
+        delay = event.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if event.kind == "mn":
+            self.cluster.crash_mn(event.node_id)
+        else:
+            self.cluster.crash_cn(event.node_id)
+        self.injected.append(event)

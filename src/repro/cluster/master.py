@@ -1,0 +1,115 @@
+"""The reliable master: lease-based membership and failure dissemination.
+
+Per §2.1/§3.4, a reliable master runs a membership service (as in uKharon /
+FUSEE) that detects node failures within a lease period and notifies
+clients; its own fault tolerance is out of scope.  Here the master is an
+oracle object off the fabric: failure *detection* costs ``detection_delay``
+of simulated time, after which client-visible state flips and registered
+recovery callbacks run.
+
+The master also exposes per-MN recovery milestones as events (Meta / Index
+/ Block areas), which is how the tiered-recovery scheme (§3.4.1) gates
+client behaviour: writes resume after the index milestone, reads run
+degraded until the block milestone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..sim import Environment, Event
+
+__all__ = ["Master", "MnState"]
+
+
+class MnState:
+    ALIVE = "alive"
+    FAILED = "failed"
+    META_RECOVERED = "meta_recovered"
+    INDEX_RECOVERED = "index_recovered"   # writes OK, reads degraded
+    RECOVERED = "recovered"               # fully back
+
+
+class Master:
+    """Cluster oracle: membership, failure notification, recovery gating."""
+
+    def __init__(self, env: Environment, detection_delay: float = 100e-6):
+        self.env = env
+        self.detection_delay = detection_delay
+        self._mn_state: Dict[int, str] = {}
+        self._milestones: Dict[int, Dict[str, Event]] = {}
+        self._recovery_callback: Optional[Callable[[int], None]] = None
+        self.failed_cns: Set[int] = set()
+        self.failure_log: List[tuple] = []
+
+    # -- registration -------------------------------------------------------
+
+    def register_mn(self, node_id: int) -> None:
+        self._mn_state[node_id] = MnState.ALIVE
+        self._milestones[node_id] = {}
+
+    def set_recovery_callback(self, callback: Callable[[int], None]) -> None:
+        """Called (once per failure, after detection) to start MN recovery."""
+        self._recovery_callback = callback
+
+    # -- state queries (what clients consult) --------------------------------
+
+    def mn_state(self, node_id: int) -> str:
+        return self._mn_state[node_id]
+
+    def mn_writable(self, node_id: int) -> bool:
+        return self._mn_state[node_id] in (
+            MnState.ALIVE, MnState.INDEX_RECOVERED, MnState.RECOVERED
+        )
+
+    def mn_degraded(self, node_id: int) -> bool:
+        """Index back but Block Area still missing: reads are degraded."""
+        return self._mn_state[node_id] == MnState.INDEX_RECOVERED
+
+    def milestone(self, node_id: int, name: str) -> Event:
+        """Event that triggers when *node_id* reaches recovery stage *name*
+        (one of MnState.META_RECOVERED / INDEX_RECOVERED / RECOVERED)."""
+        events = self._milestones[node_id]
+        ev = events.get(name)
+        if ev is None or (ev.triggered and
+                          self._mn_state[node_id] == MnState.FAILED):
+            ev = self.env.event()
+            events[name] = ev
+        return ev
+
+    # -- failure flow ---------------------------------------------------------
+
+    def report_mn_failure(self, node_id: int) -> None:
+        """Called right after an MN crash; detection takes a lease period."""
+        if self._mn_state[node_id] == MnState.FAILED:
+            return
+        self._mn_state[node_id] = MnState.FAILED
+        self.failure_log.append((self.env.now, "mn", node_id))
+        # Reset milestones so waiters block until *this* recovery completes.
+        self._milestones[node_id] = {}
+        self.env.process(self._detect_and_recover(node_id),
+                         name=f"master.detect(mn{node_id})")
+
+    def _detect_and_recover(self, node_id: int):
+        yield self.env.timeout(self.detection_delay)
+        if self._recovery_callback is not None:
+            self._recovery_callback(node_id)
+
+    def reach_milestone(self, node_id: int, state: str) -> None:
+        """Recovery code reports progress; wakes every waiter."""
+        self._mn_state[node_id] = state
+        ev = self._milestones[node_id].get(state)
+        if ev is None:
+            ev = self.env.event()
+            self._milestones[node_id][state] = ev
+        if not ev.triggered:
+            ev.succeed(self.env.now)
+
+    # -- CN failures -----------------------------------------------------------
+
+    def report_cn_failure(self, node_id: int) -> None:
+        self.failed_cns.add(node_id)
+        self.failure_log.append((self.env.now, "cn", node_id))
+
+    def report_cn_recovered(self, node_id: int) -> None:
+        self.failed_cns.discard(node_id)

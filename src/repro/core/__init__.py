@@ -1,0 +1,45 @@
+"""Aceso core: clients, servers, recovery, cluster orchestration."""
+
+from .api import AcesoClient
+from .blockmgr import BlockGrant, ClientBlockManager, OpenBlock
+from .kvpair import (
+    HEADER_SIZE,
+    KVRecord,
+    encode_kv,
+    kv_wire_size,
+    parse_kv,
+    wv_consistent,
+    wv_toggle,
+)
+from .recovery import (
+    MemoryNodeRecovery,
+    RecoveryReport,
+    rebuild_directory,
+    restart_client,
+)
+from .server import AcesoServer, DegradedPlan, StripeDirectory
+from .store import AcesoCluster, ClusterBase, MemoryDistribution
+
+__all__ = [
+    "AcesoClient",
+    "BlockGrant",
+    "ClientBlockManager",
+    "OpenBlock",
+    "HEADER_SIZE",
+    "KVRecord",
+    "encode_kv",
+    "kv_wire_size",
+    "parse_kv",
+    "wv_consistent",
+    "wv_toggle",
+    "MemoryNodeRecovery",
+    "RecoveryReport",
+    "rebuild_directory",
+    "restart_client",
+    "AcesoServer",
+    "DegradedPlan",
+    "StripeDirectory",
+    "AcesoCluster",
+    "ClusterBase",
+    "MemoryDistribution",
+]

@@ -1,0 +1,898 @@
+"""Aceso clients: the INSERT / UPDATE / SEARCH / DELETE API (§3.1).
+
+Clients run on compute nodes and execute every KV request through
+one-sided verbs on the simulated fabric; MN CPUs are involved only for the
+coarse-grained RPCs (block allocation, sealing, bitmap flushes).
+
+The write path is Algorithm 1: out-of-place KV + delta writes, then a
+single RDMA_CAS on the slot's Atomic field as the commit point, with the
+8-bit ``ver`` / 56-bit ``epoch`` slot-versioning protocol (lock the Meta
+field on rollover, invalidate the orphan KV pair on CAS failure).
+
+The read path uses the local index cache (§3.5.1): with the ``addr_value``
+policy a hit costs one KV read plus one 16 B slot-validation read and
+never re-queries the index; the ``value_only`` policy (FUSEE's cache, and
+the +CKPT factor step) must re-read the candidate buckets to validate.
+
+Degraded reads (§3.4.1): when a KV's block is still lost after an MN's
+Index-Area recovery, the client fetches a read plan from the stripe's
+P-parity server and rebuilds just the slot region element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..checkpoint.differential import xor_bytes
+from ..config import SystemConfig
+from ..errors import (
+    AllocationError,
+    KeyNotFoundError,
+    IndexFullError,
+    NodeFailedError,
+    RetryBudgetExceeded,
+)
+from ..index.cache import CacheEntry, IndexCache
+from ..index.hashing import fingerprint8, home_of
+from ..index.slot import (
+    INVALID_SLOT_VERSION,
+    AtomicField,
+    MetaField,
+    slot_version,
+)
+from ..memory.address import GlobalAddress
+from ..memory.slab import SIZE_UNIT, SizeClasser
+from ..rdma.qp import rpc_call
+from ..rdma.verbs import Opcode, Verb
+from ..sim import Interrupt
+from .blockmgr import ClientBlockManager, OpenBlock
+from .kvpair import (
+    VERSION_FIELD_OFFSET,
+    KVRecord,
+    encode_kv,
+    kv_wire_size,
+    parse_kv,
+    wv_toggle,
+)
+
+__all__ = ["AcesoClient"]
+
+#: Give-up threshold for one op; generous, only guards against livelock.
+RETRY_BUDGET = 64
+#: Paper §3.2.2 remark 2: retry the Meta lock after 500 us.
+LOCK_TIMEOUT = 500e-6
+LOCK_POLL = 50e-6
+#: Slots left in the open block when the next one is allocated ahead.
+PREFETCH_MARGIN = 8
+
+
+class AcesoClient:
+    """One client endpoint; all public ops are simulation generators."""
+
+    def __init__(self, env, fabric, config: SystemConfig, cli_id: int,
+                 cn, mns: Dict[int, object], servers: Dict[int, object],
+                 master, layout, codec, stats):
+        self.env = env
+        self.fabric = fabric
+        self.config = config
+        self.cli_id = cli_id
+        self.cn = cn
+        self.nic = cn.nic
+        self.mns = mns
+        self.servers = servers
+        self.master = master
+        self.layout = layout
+        self.codec = codec
+        self.stats = stats
+        self.cache = IndexCache(config.ft.cache_policy)
+        self.blocks = ClientBlockManager(cli_id)
+        self.classer = SizeClasser(config.cluster.block_size)
+        self.num_mns = config.cluster.num_mns
+        self.wide = config.ft.slot_format == "wide16"
+        self._procs: List = []
+        self._prefetched: Dict[int, OpenBlock] = {}
+        self._prefetching: set = set()
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start_background(self) -> None:
+        """Start the periodic free-bitmap flush (§3.3.3 step 1)."""
+        self._procs.append(self.env.process(
+            self._bitmap_flush_loop(), name=f"bitmaps@cli{self.cli_id}"
+        ))
+
+    def stop(self) -> None:
+        self.alive = False
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("client stopped")
+        self._procs.clear()
+
+    def _spawn(self, gen, name: str) -> None:
+        self._procs.append(self.env.process(gen, name=name))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def search(self, key: bytes) -> Generator:
+        """SEARCH: returns the value bytes; raises KeyNotFoundError.
+
+        A SEARCH interrupted by an MN failure (§3.4.1) waits for the
+        affected node's Index-Area recovery and retries; the stall counts
+        toward its latency.
+        """
+        t0 = self.env.now
+        home = self._home(key)
+        for _attempt in range(RETRY_BUDGET):
+            try:
+                record = yield from self._search_inner(key)
+            except NodeFailedError as exc:
+                self.stats.bump("search_interrupted")
+                self.cache.invalidate(key)
+                node = exc.node_id if exc.node_id >= 0 else home
+                if node < self.num_mns:
+                    while not self.master.mn_writable(node):
+                        yield self.master.milestone(node, "index_recovered")
+                continue
+            self.stats.record_op("SEARCH", self.env.now - t0)
+            if record is None or record.tombstone:
+                self.stats.bump("search_miss")
+                raise KeyNotFoundError(key)
+            return record.value
+        raise RetryBudgetExceeded(f"SEARCH {key!r}")
+
+    def insert(self, key: bytes, value: bytes) -> Generator:
+        yield from self._write(key, value, "INSERT")
+
+    def update(self, key: bytes, value: bytes) -> Generator:
+        yield from self._write(key, value, "UPDATE")
+
+    def delete(self, key: bytes) -> Generator:
+        yield from self._write(key, b"", "DELETE")
+
+    # ------------------------------------------------------------------
+    # fabric helpers
+    # ------------------------------------------------------------------
+
+    def _mn_nic(self, node: int):
+        return self.mns[node].nic
+
+    def _post_read(self, node: int, offset: int, length: int):
+        mn = self.mns[node]
+        return self.fabric.read(self.nic, mn.nic, length,
+                                execute=lambda: mn.read_bytes(offset, length))
+
+    def _post_write(self, node: int, offset: int, data: bytes):
+        mn = self.mns[node]
+        return self.fabric.write(self.nic, mn.nic, len(data),
+                                 execute=lambda: mn.write_bytes(offset, data))
+
+    def _post_cas(self, node: int, offset: int, expected: int, new: int):
+        mn = self.mns[node]
+        return self.fabric.cas(self.nic, mn.nic,
+                               execute=lambda: mn.cas_u64(offset, expected, new))
+
+    def _rpc(self, server, method, *args, response_size=64,
+             timeout=10e-3):
+        """Client control-plane RPC.  The generous default timeout keeps
+        multi-hop handlers (block allocation) from being abandoned
+        half-applied when MN serving queues are deep."""
+        result = yield from rpc_call(self.env, self.fabric, self.nic,
+                                     server.rpc_server, method, *args,
+                                     response_size=response_size,
+                                     timeout=timeout)
+        return result
+
+    def _leader(self):
+        alive = sorted(i for i, s in self.servers.items()
+                       if self.fabric.is_alive(i))
+        if not alive:
+            raise NodeFailedError(-1, "no alive MN")
+        return self.servers[alive[0]]
+
+    # ------------------------------------------------------------------
+    # index access
+    # ------------------------------------------------------------------
+
+    def _home(self, key: bytes) -> int:
+        return home_of(key, self.num_mns)
+
+    def _ensure_home_writable(self, home: int) -> Generator:
+        """Writes to a failed MN's index range block until its Index Area
+        is recovered (§3.4.1)."""
+        while not self.master.mn_writable(home):
+            yield self.master.milestone(home, "index_recovered")
+
+    def _index_of(self, node: int):
+        return self.mns[node].index
+
+    def _query_buckets(self, key: bytes, home: int) -> Generator:
+        """Read both candidate buckets in one doorbell batch."""
+        index = self._index_of(home)
+        b1, b2 = index.candidate_buckets(key)
+        mn = self.mns[home]
+        size = index.bucket_size
+
+        def reader(bucket):
+            offset = index.bucket_offset(bucket)
+            return lambda: mn.read_bytes(offset, size)
+
+        verbs = [Verb(Opcode.READ, size, reader(b1)),
+                 Verb(Opcode.READ, size, reader(b2))]
+        raws = yield self.fabric.post_batch(self.nic, mn.nic, verbs)
+        return [(b1, raws[0]), (b2, raws[1])]
+
+    def _find_slot(self, key: bytes, buckets):
+        """Locate *key* in raw bucket images.
+
+        Returns (match, free, matches): ``matches`` are all fingerprint
+        candidates as (bucket, slot, atomic_word, meta_word); ``free`` the
+        empty positions.
+        """
+        matches = []
+        free: List[Tuple[int, int]] = []
+        fp = fingerprint8(key)
+        for bucket, raw in buckets:
+            words = self._bucket_words(raw)
+            for slot, (atomic_word, meta_word) in enumerate(words):
+                if atomic_word == 0:
+                    free.append((bucket, slot))
+                    continue
+                if (atomic_word >> 56) & 0xFF == fp:
+                    matches.append((bucket, slot, atomic_word, meta_word))
+        match = matches[0] if matches else None
+        return match, free, matches
+
+    def _bucket_words(self, raw: bytes) -> List[Tuple[int, int]]:
+        """(atomic, meta) word pairs of a raw bucket image (meta = 0 when
+        slots are compact)."""
+        slot_size = 16 if self.wide else 8
+        out = []
+        for off in range(0, len(raw), slot_size):
+            atomic = int.from_bytes(raw[off:off + 8], "little")
+            meta = (int.from_bytes(raw[off + 8:off + 16], "little")
+                    if self.wide else 0)
+            out.append((atomic, meta))
+        return out
+
+    # ------------------------------------------------------------------
+    # SEARCH path
+    # ------------------------------------------------------------------
+
+    def _search_inner(self, key: bytes) -> Generator:
+        home = self._home(key)
+        entry = self.cache.lookup(key) if self.cache.enabled else None
+        if entry is not None and self.cache.policy == "addr_value":
+            record = yield from self._search_cached_addr(key, home, entry)
+            return record
+        if entry is not None and self.cache.policy == "value_only":
+            record = yield from self._search_cached_value(key, home, entry)
+            return record
+        record = yield from self._search_via_index(key, home)
+        return record
+
+    def _search_cached_addr(self, key: bytes, home: int,
+                            entry: CacheEntry) -> Generator:
+        """Aceso's cache hit: KV read + 16 B slot read, in parallel."""
+        atomic = AtomicField.unpack(entry.atomic_word)
+        kv_len = entry.len_units * SIZE_UNIT
+        kv_ev = self._kv_read_event(atomic.addr, kv_len)
+        slot_size = 16 if self.wide else 8
+        slot_ev = self._post_read(entry.slot_node, entry.slot_offset, slot_size)
+        outcome = yield self.env.all_of([kv_ev, slot_ev])
+        kv_raw, slot_raw = outcome
+        current_word = int.from_bytes(slot_raw[:8], "little")
+        if current_word == entry.atomic_word:
+            record = self._parse_or_none(kv_raw, key)
+            if record is not None:
+                return record
+            # Stale length or fp collision: fall through to a fresh query.
+            self.cache.invalidate(key)
+            record = yield from self._search_via_index(key, home)
+            return record
+        # Slot changed: read the new KV directly — no bucket query needed.
+        self.stats.bump("cache_slot_changed")
+        new_atomic = AtomicField.unpack(current_word)
+        if new_atomic.empty:
+            # The slot was vacated (e.g. recovery re-placed the key in a
+            # different free slot): only a full query is authoritative.
+            self.cache.invalidate(key)
+            record = yield from self._search_via_index(key, home)
+            return record
+        meta_word = (int.from_bytes(slot_raw[8:16], "little")
+                     if self.wide else 0)
+        len_units = (MetaField.unpack(meta_word).len_units
+                     if self.wide else entry.len_units)
+        record, raw = yield from self._read_kv_checked(
+            new_atomic.addr, max(len_units, 1) * SIZE_UNIT, key
+        )
+        if record is not None:
+            entry.atomic_word = current_word
+            entry.meta_word = meta_word
+            entry.len_units = max(len_units, 1)
+            self.cache.store(key, entry)
+            return record
+        self.cache.invalidate(key)
+        record = yield from self._search_via_index(key, home)
+        return record
+
+    def _search_cached_value(self, key: bytes, home: int,
+                             entry: CacheEntry) -> Generator:
+        """Value-only cache hit (FUSEE's policy): the KV read must be
+        validated by re-reading the slot's bucket — the cache holds no
+        slot address to check with a single-word read, so the whole
+        bucket comes back (the read amplification §3.5.1 removes)."""
+        atomic_word = entry.atomic_word
+        addr = atomic_word & ((1 << 48) - 1)
+        kv_len = entry.len_units * SIZE_UNIT
+        kv_ev = self._kv_read_event(addr, kv_len)
+        mn = self.mns[home]
+        index = self._index_of(home)
+        bucket = entry.bucket if entry.bucket >= 0 \
+            else index.candidate_buckets(key)[0]
+        size = index.bucket_size
+        offset = index.bucket_offset(bucket)
+        bucket_ev = self._post_read(home, offset, size)
+        outcome = yield self.env.all_of([kv_ev, bucket_ev])
+        kv_raw, raw = outcome
+        match, _free, _all = self._find_slot(key, [(bucket, raw)])
+        if match is not None and match[2] == atomic_word:
+            record = self._parse_or_none(kv_raw, key)
+            if record is not None:
+                return record
+        # Slot changed (or moved): fall back to a full index query.
+        self.stats.bump("cache_slot_changed")
+        self.cache.invalidate(key)
+        record = yield from self._search_via_index(key, home)
+        return record
+
+    def _search_via_index(self, key: bytes, home: int) -> Generator:
+        while not self.master.mn_writable(home):
+            yield self.master.milestone(home, "index_recovered")
+        buckets = yield from self._query_buckets(key, home)
+        record = yield from self._resolve_candidates(key, home, buckets)
+        return record
+
+    def _resolve_candidates(self, key: bytes, home: int, buckets) -> Generator:
+        """Chase fingerprint candidates until the key matches."""
+        _match, _free, matches = self._find_slot(key, buckets)
+        index = self._index_of(home)
+        for bucket, slot, atomic_word, meta_word in matches:
+            atomic = AtomicField.unpack(atomic_word) if self.wide else None
+            if self.wide:
+                addr = atomic.addr
+                len_units = MetaField.unpack(meta_word).len_units
+            else:
+                addr = atomic_word & ((1 << 48) - 1)
+                len_units = (atomic_word >> 48) & 0xFF
+            record, _raw = yield from self._read_kv_checked(
+                addr, max(len_units, 1) * SIZE_UNIT, key
+            )
+            if record is not None:
+                self.cache.store(key, CacheEntry(
+                    atomic_word=atomic_word, len_units=max(len_units, 1),
+                    meta_word=meta_word, slot_node=home,
+                    slot_offset=index.slot_offset(bucket, slot),
+                    bucket=bucket, slot=slot,
+                ))
+                return record
+        return None
+
+    @staticmethod
+    def _parse_or_none(raw, key: bytes):
+        """Decode a KV read; None unless it is a consistent, valid record
+        of *key* (fp collisions and invalidated pairs filter out here)."""
+        if raw is None:
+            return None
+        record = parse_kv(raw)
+        if record is None or record.key != key or record.invalidated:
+            return None
+        return record
+
+    def _kv_read_event(self, packed_addr: int, length: int):
+        ga = GlobalAddress.unpack(packed_addr)
+        return self._post_read(ga.node_id, ga.offset, length)
+
+    def _read_kv_checked(self, packed_addr: int, length: int,
+                         key: bytes) -> Generator:
+        """Read a KV pair, tolerating a stale ``len`` (§3.2.2) and lost
+        blocks (degraded read)."""
+        ga = GlobalAddress.unpack(packed_addr)
+        try:
+            raw = yield self._post_read(ga.node_id, ga.offset, length)
+        except NodeFailedError:
+            raw = yield from self._degraded_read(ga, length)
+            if raw is None:
+                return None, None
+        record = parse_kv(raw)
+        if record is None and length < 4096:
+            # Possibly a stale length: re-read with a generous size.
+            try:
+                raw = yield self._post_read(ga.node_id, ga.offset, length * 4)
+            except (NodeFailedError, IndexError):
+                return None, None
+            record = parse_kv(raw)
+        if record is None or record.key != key or record.invalidated:
+            return None, raw
+        return record, raw
+
+    # ------------------------------------------------------------------
+    # degraded read (§3.4.1)
+    # ------------------------------------------------------------------
+
+    def _degraded_read(self, ga: GlobalAddress, length: int) -> Generator:
+        """Rebuild a slot region of a lost block from its stripe."""
+        node = ga.node_id
+        # Degraded reads need the lost MN's Meta Area back (tiered recovery
+        # restores it first); block until then.
+        while self.master.mn_state(node) == "failed":
+            yield self.master.milestone(node, "meta_recovered")
+        mn = self.mns[node]
+        block_id, intra = mn.blocks.locate(ga.offset)
+        info = yield from self._rpc(self.servers[node], "block_info", block_id)
+        sid, pos = info["stripe_id"], info["position"]
+        if sid < 0:
+            return None
+        pnode = self.layout.node_of(sid, self.codec.k)
+        plan = yield from self._rpc(self.servers[pnode], "degraded_plan",
+                                    sid, pos, intra, length,
+                                    response_size=256)
+        self.stats.bump("degraded_reads")
+        events = []
+        keys = []
+        for j, (n, off) in plan.data_regions.items():
+            events.append(self._post_read(n, off, length))
+            keys.append(("data", j))
+        for j, (n, off) in plan.delta_regions.items():
+            events.append(self._post_read(n, off, length))
+            keys.append(("delta", j))
+        events.append(self._post_read(plan.parity_region[0],
+                                      plan.parity_region[1], length))
+        keys.append(("parity", -1))
+        if plan.target_delta is not None:
+            events.append(self._post_read(plan.target_delta[0],
+                                          plan.target_delta[1], length))
+            keys.append(("tdelta", -1))
+        results = yield self.env.all_of(events)
+        data: Dict[int, bytes] = {}
+        deltas: Dict[int, bytes] = {}
+        parity0 = b""
+        tdelta = None
+        for (kind, j), raw in zip(keys, results):
+            if kind == "data":
+                data[j] = raw
+            elif kind == "delta":
+                deltas[j] = raw
+            elif kind == "parity":
+                parity0 = raw
+            else:
+                tdelta = raw
+        known = {}
+        for j in range(self.codec.k):
+            if j == pos:
+                continue
+            folded = data.get(j, bytes(length))
+            if j in deltas:
+                folded = xor_bytes(folded, deltas[j])
+            known[j] = folded
+        folded_target = self.codec.solve_one(pos, known, parity0)
+        if tdelta is not None:
+            folded_target = xor_bytes(folded_target, tdelta)
+        return folded_target
+
+    # ------------------------------------------------------------------
+    # write path (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def _write(self, key: bytes, value: bytes, op: str) -> Generator:
+        t0 = self.env.now
+        home = self._home(key)
+        cas_count = 0
+        retries = 0
+        while retries < RETRY_BUDGET:
+            yield from self._ensure_home_writable(home)
+            try:
+                located = yield from self._locate_for_write(key, home, op)
+            except NodeFailedError:
+                retries += 1
+                self.cache.invalidate(key)
+                continue
+            if located is None:
+                self.stats.record_error(op)
+                raise KeyNotFoundError(key)
+            (bucket, slot, atomic_word, meta_word, fresh_insert) = located
+            index = self._index_of(home)
+            slot_offset = index.slot_offset(bucket, slot)
+            atomic_old = AtomicField.unpack(atomic_word)
+            meta_old = MetaField.unpack(meta_word)
+            fp = fingerprint8(key)
+
+            # --- slot-version bookkeeping (Algorithm 1 lines 3-14) -----
+            rolled = False
+            if fresh_insert:
+                ver_new = 1
+                epoch_eff = 0
+            else:
+                if meta_old.locked:
+                    took_over = yield from self._wait_or_takeover(
+                        key, home, bucket, slot, meta_old
+                    )
+                    retries += 1
+                    if not took_over:
+                        continue
+                    meta_word = took_over
+                    meta_old = MetaField.unpack(meta_word)
+                    # We now hold the lock (odd epoch).
+                    rolled = True
+                ver_new = (atomic_old.ver + 1) & 0xFF
+                if atomic_old.ver == 0xFF and not rolled:
+                    # Rollover: lock the Meta field (epoch -> odd).
+                    locked_meta = MetaField(meta_old.epoch + 1,
+                                            meta_old.len_units)
+                    cas_count += 1
+                    try:
+                        ok, _old = yield self._post_cas(
+                            home, index.meta_offset(bucket, slot),
+                            meta_old.pack(), locked_meta.pack(),
+                        )
+                    except NodeFailedError:
+                        retries += 1
+                        continue
+                    if not ok:
+                        retries += 1
+                        yield self.env.timeout(LOCK_POLL)
+                        continue
+                    meta_old = locked_meta
+                    rolled = True
+                if rolled:
+                    epoch_eff = meta_old.epoch + 1  # the final, even epoch
+                else:
+                    epoch_eff = meta_old.epoch
+            version = slot_version(epoch_eff, ver_new)
+
+            # --- write the KV pair and its delta out of place ------------
+            size_class = self.classer.class_for(
+                kv_wire_size(len(key), len(value))
+            )
+            block, wslot = yield from self._get_write_slot(size_class)
+            old_bytes = block.slot_old_bytes(wslot)
+            wv = wv_toggle(old_bytes[0]) if old_bytes[0] else 1
+            kv_bytes = encode_kv(key, value, version, size_class.slot_size,
+                                 write_version=wv, tombstone=(op == "DELETE"))
+            delta_bytes = (xor_bytes(kv_bytes, old_bytes)
+                           if block.grant.reused else kv_bytes)
+            kv_addr = block.kv_address(wslot)
+            delta_addr = block.delta_address(wslot)
+            writes = [self._post_write(kv_addr.node_id, kv_addr.offset,
+                                       kv_bytes)]
+            if delta_addr is not None:
+                writes.append(self._delta_write_event(delta_addr, delta_bytes))
+            try:
+                yield self.env.all_of(writes)
+            except NodeFailedError:
+                # A failed MN on the write path: bypass it (§3.4.1) — the
+                # KV write must land, the delta write may be skipped.
+                try:
+                    yield self._post_write(kv_addr.node_id, kv_addr.offset,
+                                           kv_bytes)
+                except NodeFailedError:
+                    retries += 1
+                    block.writes_done += 1
+                    self._maybe_seal(size_class, block)
+                    continue
+
+            # --- commit: CAS the Atomic field --------------------------
+            new_atomic = AtomicField(fp=fp, ver=ver_new,
+                                     addr=kv_addr.pack())
+            meta_final = MetaField(epoch_eff, size_class.len_units)
+            try:
+                if fresh_insert:
+                    # Publish the Meta word before the commit CAS so
+                    # readers see a valid length.
+                    yield self._post_write(
+                        home, index.meta_offset(bucket, slot),
+                        meta_final.pack().to_bytes(8, "little"),
+                    )
+                cas_count += 1
+                ok, _observed = yield self._post_cas(
+                    home, slot_offset, atomic_word, new_atomic.pack()
+                )
+            except NodeFailedError:
+                retries += 1
+                block.writes_done += 1
+                self._maybe_seal(size_class, block)
+                self.cache.invalidate(key)
+                continue
+            block.writes_done += 1
+            if ok:
+                try:
+                    if rolled:
+                        # Unlock: epoch to the next even value (line 20).
+                        cas_count += 1
+                        yield self._post_cas(
+                            home, index.meta_offset(bucket, slot),
+                            meta_old.pack(), meta_final.pack(),
+                        )
+                    elif not fresh_insert and \
+                            meta_old.len_units != size_class.len_units:
+                        # Size class changed: repair the len (§3.2.2).
+                        yield self._post_write(
+                            home, index.meta_offset(bucket, slot),
+                            meta_final.pack().to_bytes(8, "little"),
+                        )
+                except NodeFailedError:
+                    pass  # commit already landed; recovery fixes the Meta
+                self._mark_old_obsolete(atomic_old, meta_old, fresh_insert)
+                self.cache.store(key, CacheEntry(
+                    atomic_word=new_atomic.pack(),
+                    len_units=size_class.len_units,
+                    meta_word=meta_final.pack(),
+                    slot_node=home, slot_offset=slot_offset,
+                    bucket=bucket, slot=slot,
+                ))
+                self._maybe_seal(size_class, block)
+                self.stats.record_op(op, self.env.now - t0, cas=cas_count,
+                                     retries=retries)
+                return
+            # --- CAS failed: invalidate the orphan KV (line 18) ----------
+            self.stats.bump("commit_conflicts")
+            yield from self._invalidate_kv(kv_addr, delta_addr,
+                                           kv_bytes, delta_bytes)
+            dead_block, dead_intra = self._locate_block_slot(kv_addr)
+            if dead_block is not None:
+                self.blocks.mark_obsolete(kv_addr.node_id, dead_block,
+                                          dead_intra, now=self.env.now)
+            if rolled:
+                yield self._post_cas(
+                    home, index.meta_offset(bucket, slot),
+                    meta_old.pack(), meta_final.pack(),
+                )
+            self.cache.invalidate(key)
+            self._maybe_seal(size_class, block)
+            retries += 1
+        raise RetryBudgetExceeded(f"{op} {key!r} exceeded {RETRY_BUDGET} retries")
+
+    def _delta_write_event(self, delta_addr: GlobalAddress, data: bytes):
+        return self._post_write(delta_addr.node_id, delta_addr.offset, data)
+
+    def _wait_or_takeover(self, key, home, bucket, slot, meta_locked):
+        """Meta locked by another client: poll, then take over after the
+        timeout (remark 2 of §3.2.2).  Returns the new meta word when the
+        lock was taken over, else None (caller retries)."""
+        index = self._index_of(home)
+        waited = 0.0
+        while waited < LOCK_TIMEOUT:
+            yield self.env.timeout(LOCK_POLL)
+            waited += LOCK_POLL
+            raw = yield self._post_read(home, index.meta_offset(bucket, slot), 8)
+            meta = MetaField.unpack(int.from_bytes(raw, "little"))
+            if not meta.locked:
+                return None
+        # Take over: epoch to the next odd number.
+        takeover = MetaField(meta.epoch + 2, meta.len_units)
+        ok, _ = yield self._post_cas(home, index.meta_offset(bucket, slot),
+                                     meta.pack(), takeover.pack())
+        if ok:
+            self.stats.bump("lock_takeovers")
+            return takeover.pack()
+        return None
+
+    def _locate_for_write(self, key: bytes, home: int, op: str):
+        """Find (bucket, slot, atomic_word, meta_word, fresh_insert).
+
+        With the addr_value cache the client trusts the cached
+        Atomic/Meta pair and CASes directly (the commit CAS catches any
+        staleness, forcing a re-read on failure).  Otherwise it queries
+        the candidate buckets.
+        """
+        entry = self.cache.lookup(key) if self.cache.enabled else None
+        if entry is not None and entry.slot_offset >= 0:
+            return (entry.bucket, entry.slot, entry.atomic_word,
+                    entry.meta_word, False)
+        buckets = yield from self._query_buckets(key, home)
+        _match, free, matches = self._find_slot(key, buckets)
+        # Verify fingerprint candidates actually hold this key.
+        for bucket, slot, atomic_word, meta_word in matches:
+            addr = atomic_word & ((1 << 48) - 1)
+            len_units = ((meta_word & 0xFF) if self.wide
+                         else (atomic_word >> 48) & 0xFF)
+            record, _ = yield from self._read_kv_checked(
+                addr, max(len_units, 1) * SIZE_UNIT, key
+            )
+            if record is not None:
+                return bucket, slot, atomic_word, meta_word, False
+        if op in ("UPDATE", "DELETE"):
+            return None
+        if not free:
+            raise IndexFullError(f"no free slot for {key!r}")
+        # Spread concurrent inserts across the free positions (picking the
+        # first free slot would make unrelated keys contend on one CAS).
+        from ..index.hashing import hash64
+        bucket, slot = free[hash64(key, b"slotpick") % len(free)]
+        return bucket, slot, 0, 0, True
+
+    def _invalidate_kv(self, kv_addr: GlobalAddress,
+                       delta_addr: Optional[GlobalAddress],
+                       kv_bytes: bytes, delta_bytes: bytes) -> Generator:
+        """Mark an uncommitted KV pair invalid (Slot Version := -1,
+        Algorithm 1 line 18) and patch its delta to match, so the delta
+        block always holds ``old_content ^ current_content`` and parity
+        folding stays consistent."""
+        marker = INVALID_SLOT_VERSION.to_bytes(8, "little")
+        events = [self._post_write(
+            kv_addr.node_id, kv_addr.offset + VERSION_FIELD_OFFSET, marker
+        )]
+        if delta_addr is not None:
+            lo, hi = VERSION_FIELD_OFFSET, VERSION_FIELD_OFFSET + 8
+            # The KV's version field changes from `version_bytes` to the
+            # marker, so the delta's field changes by their XOR.
+            version_bytes = kv_bytes[lo:hi]
+            new_field = xor_bytes(delta_bytes[lo:hi],
+                                  xor_bytes(version_bytes, marker))
+            events.append(self._post_write(
+                delta_addr.node_id, delta_addr.offset + VERSION_FIELD_OFFSET,
+                new_field,
+            ))
+        try:
+            yield self.env.all_of(events)
+        except NodeFailedError:
+            pass
+
+    def _mark_old_obsolete(self, atomic_old: AtomicField,
+                           meta_old: MetaField, fresh_insert: bool) -> None:
+        """Queue the superseded KV pair's bitmap update (§3.3.3 step 1)."""
+        if fresh_insert or atomic_old.addr == 0:
+            return
+        ga = GlobalAddress.unpack(atomic_old.addr)
+        block_id, intra = self._locate_block_slot(ga)
+        if block_id is not None:
+            self.blocks.mark_obsolete(ga.node_id, block_id, intra,
+                                      now=self.env.now)
+
+    def _locate_block_slot(self, ga: GlobalAddress):
+        """(block_id, intra-block byte offset) of a KV address."""
+        mn = self.mns[ga.node_id]
+        try:
+            return mn.blocks.locate(ga.offset)
+        except IndexError:
+            return None, None
+
+    # ------------------------------------------------------------------
+    # block lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_write_slot(self, size_class) -> Generator:
+        slot_size = size_class.slot_size
+        block = self.blocks.open_block(slot_size)
+        if block is None:
+            old = self.blocks.retire(slot_size)
+            if old is not None:
+                self._seal_async(old)
+            block = self._take_prefetched(slot_size)
+            if block is None:
+                block = yield from self._fetch_block(size_class)
+            self.blocks.install(slot_size, block)
+        slot = block.take_slot()
+        # Allocate the next block ahead of time so the allocation RPC
+        # chain never sits on the write critical path.
+        if block.slots_left() == PREFETCH_MARGIN:
+            self._start_prefetch(size_class)
+        return block, slot
+
+    def _take_prefetched(self, slot_size: int) -> Optional[OpenBlock]:
+        return self._prefetched.pop(slot_size, None)
+
+    def _start_prefetch(self, size_class) -> None:
+        slot_size = size_class.slot_size
+        if slot_size in self._prefetching or slot_size in self._prefetched:
+            return
+        self._prefetching.add(slot_size)
+        self._spawn(self._prefetch_block(size_class),
+                    name=f"prefetch@cli{self.cli_id}")
+
+    def _prefetch_block(self, size_class) -> Generator:
+        try:
+            block = yield from self._fetch_block(size_class)
+            self._prefetched[size_class.slot_size] = block
+        except (AllocationError, NodeFailedError):
+            pass  # the write path will allocate synchronously instead
+        finally:
+            self._prefetching.discard(size_class.slot_size)
+
+    def _fetch_block(self, size_class) -> Generator:
+        """Allocate one block (plus its DELTA twin) and fetch the old
+        contents when it is a reused block (§3.3.3)."""
+        slot_size = size_class.slot_size
+        grant = None
+        for _attempt in range(64):
+            leader = self._leader()
+            try:
+                grant = yield from self._rpc(leader, "alloc_block",
+                                             self.cli_id, slot_size,
+                                             response_size=128)
+                break
+            except AllocationError:
+                # Pool under pressure: back off so bitmap flushes can
+                # surface reclamation candidates (§3.3.3), then retry.
+                yield from self.flush_bitmaps()
+                yield self.env.timeout(
+                    self.config.reclamation.bitmap_flush_interval
+                )
+            except NodeFailedError:
+                # Leader crashed mid-allocation; wait out the failover
+                # and retry against the new leader.
+                yield self.env.timeout(LOCK_TIMEOUT)
+        if grant is None:
+            raise AllocationError("block allocation failed repeatedly")
+        block = OpenBlock(grant, size_class)
+        if block.needs_old_content:
+            # Read the whole reused block once (§3.3.3) — chunked so
+            # other clients' verbs interleave.
+            mn = self.mns[grant.data_node]
+            size = self.config.cluster.block_size
+            raw = yield self.fabric.transfer(
+                self.nic, mn.nic, size, opcode=Opcode.READ,
+                execute=lambda: mn.read_bytes(grant.data_offset, size),
+                traffic_class="reclaim",
+            )
+            block.old_content = raw
+            self.stats.bump("reused_blocks")
+        return block
+
+    def _maybe_seal(self, size_class, block: OpenBlock) -> None:
+        """Seal the block (asynchronously) once its last slot was written."""
+        if block.exhausted and self.blocks.retire_if(
+                size_class.slot_size, block):
+            self._seal_async(block)
+            self.blocks.blocks_filled += 1
+
+    def _seal_async(self, block: OpenBlock) -> None:
+        self._spawn(self._seal(block), name=f"seal@cli{self.cli_id}")
+
+    def _seal(self, block: OpenBlock) -> Generator:
+        grant = block.grant
+        try:
+            yield from self._rpc(self.servers[grant.data_node],
+                                 "seal_block", grant.data_block)
+        except NodeFailedError:
+            pass
+        if grant.delta_node >= 0 and grant.stripe_id >= 0:
+            try:
+                yield from self._rpc(self.servers[grant.delta_node],
+                                     "fold_delta", grant.stripe_id,
+                                     grant.stripe_pos, grant.delta_block)
+            except NodeFailedError:
+                pass
+
+    def _bitmap_flush_loop(self) -> Generator:
+        interval = self.config.reclamation.bitmap_flush_interval
+        while True:
+            yield self.env.timeout(interval)
+            yield from self.flush_bitmaps()
+
+    def flush_bitmaps(self) -> Generator:
+        """Send pending obsolescence bits to their owning servers."""
+        pending = self.blocks.drain_obsolete()
+        by_node: Dict[int, List] = {}
+        for (node, block_id), slots in pending.items():
+            by_node.setdefault(node, []).append(
+                (block_id, sorted(slots.items())))
+        for node, entries in by_node.items():
+            if not self.fabric.is_alive(node):
+                for block_id, slots in entries:
+                    for slot, ts in slots:
+                        self.blocks.mark_obsolete(node, block_id, slot,
+                                                  now=ts)
+                continue
+            try:
+                yield from self._rpc(self.servers[node], "update_bitmaps",
+                                     entries, response_size=64)
+            except NodeFailedError:
+                for block_id, slots in entries:
+                    for slot, ts in slots:
+                        self.blocks.mark_obsolete(node, block_id, slot,
+                                                  now=ts)

@@ -1,0 +1,142 @@
+"""On-memory KV pair format.
+
+Every KV pair is written out-of-place into a slab slot of its size class
+(a multiple of 64 B).  The layout carries everything recovery needs:
+
+    offset 0   write-version front (1 B): 0 = unwritten, else '01'/'10'
+    offset 1   flags (1 B): bit 0 = tombstone (zero-length DELETE record)
+    offset 2   key length  (u16)
+    offset 4   value length (u32)
+    offset 8   Slot Version (u64; all-ones marks an invalidated pair)
+    offset 16  payload checksum (u32, crc32 of flags/lengths/key/value)
+    offset 20  reserved (4 B)
+    offset 24  key bytes, then value bytes
+    last byte  write-version back (1 B, equals the front when consistent)
+
+* The *Slot Version* (§3.2.2) orders all KV pairs ever committed to one
+  index slot; index recovery keeps the highest per slot.
+* The *write versions* (§3.4.2) straddle the record so a torn RDMA write
+  (front updated, tail not) is detectable: RDMA writes land in order.
+* The checksum covers everything except the mutable Slot Version field, so
+  recovery can reject a corrupted stripe reconstruction (e.g. one raced by
+  an in-flight write) instead of resurrecting garbage.
+* The length header lets a reader detect a stale ``len`` in the index slot
+  and repair it (§3.2.2).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..index.slot import INVALID_SLOT_VERSION
+
+__all__ = ["KVRecord", "encode_kv", "parse_kv", "kv_wire_size",
+           "HEADER_SIZE", "VERSION_FIELD_OFFSET", "FLAG_TOMBSTONE",
+           "wv_toggle", "wv_consistent"]
+
+HEADER_SIZE = 24
+#: Byte offset of the Slot Version field (target of invalidation writes).
+VERSION_FIELD_OFFSET = 8
+FLAG_TOMBSTONE = 0x01
+
+_HEADER = struct.Struct("<BBHIQ")
+_CRC = struct.Struct("<I")
+
+
+def _payload_crc(flags: int, key: bytes, value: bytes) -> int:
+    seed = zlib.crc32(bytes([flags, len(key) & 0xFF]))
+    seed = zlib.crc32(key, seed)
+    return zlib.crc32(value, seed)
+
+
+def kv_wire_size(key_len: int, val_len: int) -> int:
+    """Bytes a KV pair needs before slab rounding (header + payload + wv)."""
+    return HEADER_SIZE + key_len + val_len + 1
+
+
+def wv_toggle(previous: int) -> int:
+    """Next write-version value: alternates 1 <-> 2 (paper's '01'/'10')."""
+    return 2 if previous == 1 else 1
+
+
+def wv_consistent(buf: bytes) -> bool:
+    """Whether a record's straddling write versions agree and are non-zero.
+
+    Works for KV slots *and* their deltas: an overwrite delta carries
+    ``old_wv ^ new_wv`` (= 3) at both ends, a fresh-slot delta carries the
+    new wv; in both cases a torn write leaves the ends unequal because
+    RDMA writes land in address order (§3.4.2).
+    """
+    if len(buf) < 2:
+        return False
+    return buf[0] != 0 and buf[0] == buf[-1]
+
+
+@dataclass(frozen=True)
+class KVRecord:
+    """A decoded KV pair."""
+
+    key: bytes
+    value: bytes
+    slot_version: int
+    write_version: int
+    tombstone: bool = False
+
+    @property
+    def invalidated(self) -> bool:
+        return self.slot_version == INVALID_SLOT_VERSION
+
+
+def encode_kv(key: bytes, value: bytes, slot_version: int, slot_size: int,
+              write_version: int = 1, tombstone: bool = False) -> bytes:
+    """Serialize a KV pair into its slab slot (zero-padded to *slot_size*)."""
+    if not key:
+        raise ValueError("empty key")
+    if write_version not in (1, 2):
+        raise ValueError(f"write version must be 1 or 2: {write_version}")
+    need = kv_wire_size(len(key), len(value))
+    if need > slot_size:
+        raise ValueError(f"KV of {need} bytes exceeds slot of {slot_size}")
+    flags = FLAG_TOMBSTONE if tombstone else 0
+    header = _HEADER.pack(write_version, flags, len(key), len(value),
+                          slot_version & 0xFFFFFFFFFFFFFFFF)
+    body = bytearray(slot_size)
+    body[:_HEADER.size] = header
+    _CRC.pack_into(body, _HEADER.size, _payload_crc(flags, key, value))
+    body[HEADER_SIZE:HEADER_SIZE + len(key)] = key
+    start = HEADER_SIZE + len(key)
+    body[start:start + len(value)] = value
+    body[slot_size - 1] = write_version
+    return bytes(body)
+
+
+def parse_kv(buf: bytes) -> Optional[KVRecord]:
+    """Decode a slab slot; ``None`` for unwritten or torn records.
+
+    A record is consistent iff its front and back write versions are equal
+    and non-zero (§3.4.2); invalidated records (version -1) parse fine and
+    are flagged via :attr:`KVRecord.invalidated`.
+    """
+    if len(buf) < HEADER_SIZE + 1:
+        return None
+    wv_front, flags, key_len, val_len, version = _HEADER.unpack_from(buf, 0)
+    if wv_front == 0:
+        return None  # never written
+    wv_back = buf[-1]
+    if wv_back != wv_front:
+        return None  # torn write
+    if HEADER_SIZE + key_len + val_len + 1 > len(buf):
+        return None  # corrupt lengths
+    key = bytes(buf[HEADER_SIZE:HEADER_SIZE + key_len])
+    value = bytes(buf[HEADER_SIZE + key_len:HEADER_SIZE + key_len + val_len])
+    if not key:
+        return None
+    (crc,) = _CRC.unpack_from(buf, _HEADER.size)
+    if crc != _payload_crc(flags, key, value):
+        return None  # corrupted (e.g. a raced stripe reconstruction)
+    return KVRecord(key=key, value=value, slot_version=version,
+                    write_version=wv_front,
+                    tombstone=bool(flags & FLAG_TOMBSTONE))

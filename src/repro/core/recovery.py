@@ -1,0 +1,948 @@
+"""Failure recovery (§3.4).
+
+Memory-node recovery is *tiered* (§3.4.1): Meta Area (read the replica),
+then Index Area (read the latest checkpoint, decode the recent blocks,
+scan their KV pairs and re-apply each index slot to the KV pair with the
+highest Slot Version), then Block Area (decode the remaining lost blocks,
+finally re-derive parity state in the background).  Functionality returns
+after the Index milestone — writes at full speed, reads degraded — which
+is what minimises user disruption.
+
+Compute-node recovery (§3.4.2) restarts a client, re-finds its unfilled
+blocks via the ``CLI ID`` metadata field, checks every KV/delta pair's
+write versions, rolls torn writes back (using the reclamation backup for
+reused blocks) and seals the blocks so nothing leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..checkpoint.differential import xor_bytes
+from ..cluster.master import MnState
+from ..errors import NodeFailedError, RecoveryError
+from ..index.hashing import fingerprint8, home_of
+from ..index.slot import AtomicField, MetaField, split_slot_version
+from ..memory.address import GlobalAddress
+from ..memory.blocks import Role
+from .kvpair import HEADER_SIZE, parse_kv, wv_consistent
+from .server import DirStripe, StripeDirectory, StripeRecord
+
+__all__ = ["RecoveryReport", "MemoryNodeRecovery", "restart_client",
+           "rebuild_directory"]
+
+_READ_CHUNK = 32 * 1024
+#: Candidates with an implausibly large epoch are corruption, not commits
+#: (epochs grow by 1 per 256 updates of one slot).
+_EPOCH_SANITY_BOUND = 1 << 40
+
+
+@dataclass
+class RecoveryReport:
+    """Timing breakdown of one MN recovery (Table 2 / Figs. 16, 18, 20)."""
+
+    node_id: int = -1
+    started_at: float = 0.0
+    # tier completion (absolute sim times)
+    meta_done_at: float = 0.0
+    index_done_at: float = 0.0
+    blocks_done_at: float = 0.0
+    # per-stage durations (Table 2's columns)
+    read_meta_s: float = 0.0
+    read_ckpt_s: float = 0.0
+    recover_lblock_s: float = 0.0
+    lblock_count: int = 0
+    read_rblock_s: float = 0.0
+    rblock_count: int = 0
+    scan_kv_s: float = 0.0
+    kv_count: int = 0
+    recover_old_s: float = 0.0
+    old_count: int = 0
+    applied_slots: int = 0
+    lost_bytes: int = 0
+
+    @property
+    def meta_time(self) -> float:
+        return self.meta_done_at - self.started_at
+
+    @property
+    def index_time(self) -> float:
+        return self.index_done_at - self.meta_done_at
+
+    @property
+    def block_time(self) -> float:
+        return self.blocks_done_at - self.index_done_at
+
+    @property
+    def total_time(self) -> float:
+        return self.blocks_done_at - self.started_at
+
+    def row(self) -> Dict[str, float]:
+        """Table 2's row for this recovery."""
+        return {
+            "read_meta_ms": self.read_meta_s * 1e3,
+            "read_ckpt_ms": self.read_ckpt_s * 1e3,
+            "recover_lblock_ms": self.recover_lblock_s * 1e3,
+            "lblock_count": self.lblock_count,
+            "read_rblock_ms": self.read_rblock_s * 1e3,
+            "rblock_count": self.rblock_count,
+            "scan_kv_ms": self.scan_kv_s * 1e3,
+            "kv_count": self.kv_count,
+            "recover_old_ms": self.recover_old_s * 1e3,
+            "old_count": self.old_count,
+            "total_ms": self.total_time * 1e3,
+        }
+
+
+def rebuild_directory(cluster) -> StripeDirectory:
+    """Reconstruct the stripe directory from the surviving parity-holder
+    records (the directory is leader soft state; everything it contains is
+    mirrored in parity metadata, §3.3.1)."""
+    coding = cluster.config.coding
+    directory = StripeDirectory(coding.k, coding.m)
+    max_sid = -1
+    for server in cluster.servers.values():
+        if not server.mn.alive:
+            continue
+        for sid, record in server.stripes.items():
+            max_sid = max(max_sid, sid)
+            stripe = directory.stripes.get(sid)
+            if stripe is None:
+                stripe = DirStripe(stripe_id=sid,
+                                   data=[None] * coding.k,
+                                   parity=[(-1, -1)] * coding.m)
+                directory.stripes[sid] = stripe
+            stripe.parity[record.parity_index] = (server.node_id,
+                                                  record.parity_block)
+            for j, loc in enumerate(record.data):
+                if loc is not None:
+                    stripe.data[j] = loc
+    directory.next_stripe_id = max_sid + 1
+    for sid, stripe in directory.stripes.items():
+        for j, loc in enumerate(stripe.data):
+            if loc is None:
+                directory.open_positions.append((sid, j))
+            else:
+                directory.block_pos[loc] = (sid, j)
+    return directory
+
+
+class MemoryNodeRecovery:
+    """Drives tiered recovery of crashed MNs for one Aceso cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.reports: List[RecoveryReport] = []
+        #: When set to an untriggered Event, recovery pauses after the
+        #: Index milestone until it triggers — experiments use this to
+        #: hold the system in the degraded-read window (Fig. 14).
+        self.hold_block_phase = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _alive_servers(self, excluding: int = -1):
+        return [s for i, s in self.cluster.servers.items()
+                if s.mn.alive and i != excluding]
+
+    def _read_remote(self, me, node: int, size: int):
+        """Charge fabric time for a bulk read of *size* bytes from *node*
+        into the recovering server (contents handled at object level)."""
+        if size <= 0:
+            return
+        events = []
+        remaining = size
+        dst = self.cluster.mns[node].nic
+        while remaining > 0:
+            chunk = min(_READ_CHUNK, remaining)
+            events.append(self.cluster.fabric.read(
+                me.mn.nic, dst, chunk, traffic_class="recovery"
+            ))
+            remaining -= chunk
+        yield self.env.all_of(events)
+
+    # -- main entry -----------------------------------------------------------
+
+    def recover(self, node_id: int):
+        cluster = self.cluster
+        mn = cluster.mns[node_id]
+        server = cluster.servers[node_id]
+        report = RecoveryReport(node_id=node_id, started_at=self.env.now)
+        self.reports.append(report)
+
+        mn.reset_for_recovery()
+        server.reset_after_crash()
+        server.start_rpc()
+
+        # Leadership repair: if the directory died with this node (or was
+        # never placed on the current leader), rebuild it from parity
+        # records.
+        leader = cluster.leader_server()
+        if leader.directory is None:
+            leader.directory = rebuild_directory(cluster)
+
+        yield from self._recover_meta(server, report)
+        cluster.master.reach_milestone(node_id, MnState.META_RECOVERED)
+        report.meta_done_at = self.env.now
+
+        ckpt_iv = yield from self._recover_index(server, report)
+        cluster.master.reach_milestone(node_id, MnState.INDEX_RECOVERED)
+        report.index_done_at = self.env.now
+
+        if self.hold_block_phase is not None \
+                and not self.hold_block_phase.triggered:
+            yield self.hold_block_phase
+
+        yield from self._recover_blocks(server, report, ckpt_iv)
+        cluster.master.reach_milestone(node_id, MnState.RECOVERED)
+        report.blocks_done_at = self.env.now
+
+        server.start()  # resume the checkpoint loop
+        return report
+
+    # -- tier 1: Meta Area -------------------------------------------------------
+
+    def _recover_meta(self, server, report: RecoveryReport):
+        cluster = self.cluster
+        node_id = server.node_id
+        holder = None
+        for other in self._alive_servers(excluding=node_id):
+            if node_id in other.mn.meta_replicas:
+                holder = other
+                break
+        t0 = self.env.now
+        if holder is None:
+            # No replica (e.g. the neighbour crashed too): all metadata of
+            # this node is lost; blocks must be rediscovered from parity
+            # holders.
+            self._restore_meta_from_parity_holders(server)
+        else:
+            replicas = holder.mn.meta_replicas[node_id]
+            total = len(replicas) * server.mn.meta_record_size
+            yield from self._read_remote(server, holder.node_id, total)
+            blocks = server.mn.blocks
+            for block_id, meta in replicas.items():
+                restored = meta.copy()
+                restored.valid = restored.role is Role.FREE
+                blocks.meta[block_id] = restored
+            blocks._free = [m.block_id for m in blocks.meta
+                            if m.role is Role.FREE]
+            blocks._free.reverse()
+        self._rebuild_parity_records(server)
+        report.read_meta_s = self.env.now - t0
+        report.lost_bytes = sum(
+            cluster.config.cluster.block_size
+            for m in server.mn.blocks.meta if m.role is not Role.FREE
+        )
+
+    def _restore_meta_from_parity_holders(self, server) -> None:
+        """Fallback when the meta replica is gone: rebuild skeleton DATA
+        and PARITY metadata from surviving parity-holder records.
+
+        Slot geometry is unknown without the replica (``slot_size`` 0);
+        the KV scan then walks records generically by their self-describing
+        headers."""
+        node_id = server.node_id
+        blocks = server.mn.blocks
+        seen = set()
+        for other in self._alive_servers(excluding=node_id):
+            for sid, record in other.stripes.items():
+                for pos, loc in enumerate(record.data):
+                    if loc is None or loc[0] != node_id:
+                        continue
+                    block_id = loc[1]
+                    if block_id in seen:
+                        continue
+                    seen.add(block_id)
+                    meta = blocks.meta[block_id]
+                    meta.role = Role.DATA
+                    meta.valid = False
+                    meta.stripe_id = sid
+                    meta.xor_id = pos
+                    meta.index_version = 0  # unknown: scan it
+                    meta.slot_size = 0      # unknown: generic scan
+                    meta.slots = 0
+        # Parity blocks this node held, from the rebuilt directory.
+        directory = self.cluster.leader_server().directory
+        k = self.cluster.codec.k
+        if directory is not None:
+            for sid, stripe in directory.stripes.items():
+                for parity_index, loc in enumerate(stripe.parity):
+                    if loc is None or loc[0] != node_id or loc[1] < 0:
+                        continue
+                    meta = blocks.meta[loc[1]]
+                    meta.role = Role.PARITY
+                    meta.valid = False
+                    meta.stripe_id = sid
+                    meta.xor_id = k + parity_index
+        blocks._free = [m.block_id for m in blocks.meta
+                        if m.role is Role.FREE]
+        blocks._free.reverse()
+
+    def _rebuild_parity_records(self, server) -> None:
+        """Re-create this node's parity-holder stripe records from the
+        restored metadata plus the directory."""
+        directory = self.cluster.leader_server().directory
+        k = self.cluster.codec.k
+        for meta in server.mn.blocks.meta:
+            if meta.role is not Role.PARITY or meta.stripe_id < 0:
+                continue
+            sid = meta.stripe_id
+            parity_index = meta.xor_id - k
+            stripe = directory.stripes.get(sid) if directory else None
+            data = list(stripe.data) if stripe else [None] * k
+            sealed = [bool(meta.xor_map >> j & 1) for j in range(k)]
+            record = StripeRecord(
+                stripe_id=sid, parity_index=parity_index,
+                parity_block=meta.block_id, data=data, sealed=sealed,
+            )
+            if parity_index == 0:
+                for j in range(k):
+                    addr = (meta.delta_addrs[j]
+                            if j < len(meta.delta_addrs) else 0)
+                    if addr:
+                        ga = GlobalAddress.unpack(addr)
+                        block_id, _intra = server.mn.blocks.locate(ga.offset)
+                        record.delta_blocks[j] = block_id
+            server.stripes[sid] = record
+
+    # -- tier 2: Index Area --------------------------------------------------------
+
+    def _find_ckpt_image(self, node_id: int):
+        for other in self._alive_servers(excluding=node_id):
+            image = other.mn.ckpt_images.get(node_id)
+            if image is not None:
+                return other, image
+        return None, None
+
+    def _recover_index(self, server, report: RecoveryReport):
+        cluster = self.cluster
+        node_id = server.node_id
+        t0 = self.env.now
+        holder, image = self._find_ckpt_image(node_id)
+        if image is not None:
+            yield from self._read_remote(server, holder.node_id,
+                                         len(image.data))
+            server.mn.index_region.restore(image.data)
+            ckpt_iv = image.index_version
+        else:
+            ckpt_iv = 0  # no checkpoint: full rebuild from all blocks
+        report.read_ckpt_s = self.env.now - t0
+
+        alive_ivs = [s.mn.index.index_version
+                     for s in self._alive_servers(excluding=node_id)]
+        server.mn.index.index_version = max(alive_ivs + [ckpt_iv + 1])
+
+        # Blocks whose KV pairs may postdate the checkpoint: Index Version
+        # 0 (unfilled) or >= ckpt_iv - 1 (one round of cross-MN skew slack,
+        # §3.2.3).
+        threshold = max(ckpt_iv - 1, 1)
+
+        def is_new(meta) -> bool:
+            return meta.role is Role.DATA and (
+                meta.index_version == 0 or meta.index_version >= threshold
+            )
+
+        contents: List[Tuple[int, object, bytes]] = []  # (owner, meta, bytes)
+
+        # 2a. recover new local blocks by erasure decoding (Recover LBlock).
+        t1 = self.env.now
+        local_new = [m for m in server.mn.blocks.meta if is_new(m)]
+        yield from self._decode_and_install(server, local_new, report,
+                                            stage="lblock")
+        for meta in local_new:
+            if meta.valid:
+                contents.append((node_id, meta,
+                                 bytes(server.mn.blocks.buffer(meta.block_id))))
+        report.recover_lblock_s = self.env.now - t1
+        report.lblock_count = len(local_new)
+
+        # 2b. read new remote blocks (Read RBlock).  Blocks on *other*
+        # failed nodes (a concurrent two-MN recovery) are reconstructed
+        # transiently from their stripes instead; wait for those nodes'
+        # Meta milestone first so their block inventory is known.
+        t2 = self.env.now
+        for other_id, other in list(cluster.servers.items()):
+            if other_id == node_id:
+                continue
+            if not other.mn.alive and \
+                    cluster.master.mn_state(other_id) == MnState.FAILED:
+                yield cluster.master.milestone(other_id,
+                                               MnState.META_RECOVERED)
+            for meta in other.mn.blocks.meta:
+                if not is_new(meta):
+                    continue
+                if other.mn.alive and meta.valid:
+                    yield from self._read_remote(server, other.node_id,
+                                                 other.mn.blocks.block_size)
+                    contents.append(
+                        (other_id, meta,
+                         bytes(other.mn.blocks.buffer(meta.block_id))))
+                    report.rblock_count += 1
+                else:
+                    started = self._start_block_reads(server, meta)
+                    if started is None:
+                        continue
+                    yield started[1]
+                    content = yield from self._finish_block(server, started,
+                                                            install=False)
+                    if content is not None:
+                        contents.append((other_id, meta, content))
+                        report.rblock_count += 1
+        report.read_rblock_s = self.env.now - t2
+
+        # 2c. scan the KV pairs (Scan KV) and keep the best per key.
+        t3 = self.env.now
+        candidates = self._scan_candidates(node_id, contents, report)
+        scan_cpu = report.kv_count / cluster.config.cluster.cpu.scan_rate
+        yield server.mn.ec_core.submit(scan_cpu)
+        report.scan_kv_s = self.env.now - t3
+
+        # 2d. re-apply each slot to its highest-versioned KV pair.
+        yield from self._apply_candidates(server, candidates, report)
+        return ckpt_iv
+
+    @staticmethod
+    def _walk_records(data: bytes, slot_size: int):
+        """Yield (offset, slot_size, record) for each KV in a block image.
+
+        With a known ``slot_size`` the walk is a fixed stride; without one
+        (meta lost, skeleton restore) records are self-describing: parse
+        at 64 B boundaries and stride by the record's own rounded size.
+        """
+        view = memoryview(data)
+        if slot_size:
+            for off in range(0, len(data) - slot_size + 1, slot_size):
+                record = parse_kv(view[off:off + slot_size])
+                if record is not None:
+                    yield off, slot_size, record
+            return
+        import struct
+
+        from .kvpair import kv_wire_size
+        pos = 0
+        while pos + 64 <= len(data):
+            # Peek the self-describing header to find the record extent,
+            # then parse exactly that slot (the back write-version sits at
+            # its last byte).
+            wv, _flags, key_len, val_len = struct.unpack_from(
+                "<BBHI", view, pos)
+            if wv == 0:
+                pos += 64
+                continue
+            stride = ((kv_wire_size(key_len, val_len) + 63) // 64) * 64
+            if pos + stride > len(data):
+                pos += 64
+                continue
+            record = parse_kv(view[pos:pos + stride])
+            if record is None:
+                pos += 64
+                continue
+            yield pos, stride, record
+            pos += stride
+
+    def _scan_candidates(self, node_id: int, contents, report):
+        """Best (highest Slot Version) KV per key homed on the lost node."""
+        best: Dict[bytes, Tuple[int, object, int, int]] = {}
+        num_mns = self.cluster.config.cluster.num_mns
+        for owner, meta, data in contents:
+            base = self.cluster.mns[owner].blocks.offset_of(meta.block_id)
+            for off, slot_size, record in self._walk_records(
+                    data, meta.slot_size):
+                report.kv_count += 1
+                if record.invalidated:
+                    continue
+                epoch, _ver = split_slot_version(record.slot_version)
+                if epoch > _EPOCH_SANITY_BOUND:
+                    continue  # corrupted reconstruction survivor
+                if home_of(record.key, num_mns) != node_id:
+                    continue
+                current = best.get(record.key)
+                if current is None or record.slot_version > current[0]:
+                    addr = GlobalAddress(owner, base + off).pack()
+                    best[record.key] = (record.slot_version, record, addr,
+                                        slot_size)
+        return best
+
+    def _apply_candidates(self, server, candidates, report: RecoveryReport):
+        """Point each index slot at the KV pair with the highest version."""
+        index = server.mn.index
+        for key, (version, record, addr, slot_size) in candidates.items():
+            epoch, ver = split_slot_version(version)
+            fp = fingerprint8(key)
+            len_units = slot_size // 64
+            b1, b2 = index.candidate_buckets(key)
+            target = None
+            free_slots = []
+            for bucket in (b1, b2):
+                for slot in range(index.bucket_slots):
+                    atomic = index.read_atomic(bucket, slot)
+                    if atomic.empty:
+                        free_slots.append((bucket, slot))
+                        continue
+                    if atomic.fp != fp:
+                        continue
+                    owner_key = yield from self._slot_key(server, index,
+                                                          bucket, slot)
+                    if owner_key == key:
+                        target = (bucket, slot, atomic)
+                        break
+                if target:
+                    break
+            if target is not None:
+                bucket, slot, atomic = target
+                meta_word = index.read_meta(bucket, slot)
+                existing = (meta_word.epoch << 8) | atomic.ver
+                if version <= existing:
+                    continue
+            elif free_slots:
+                # Same placement rule as live inserts, so cached slot
+                # addresses usually stay valid across a recovery.
+                from ..index.hashing import hash64
+                bucket, slot = free_slots[
+                    hash64(key, b"slotpick") % len(free_slots)]
+            else:
+                continue  # bucket pair full; resizing is out of scope
+            index.write_atomic(bucket, slot,
+                               AtomicField(fp=fp, ver=ver, addr=addr))
+            index.write_meta(bucket, slot,
+                             MetaField(epoch=epoch & ~1,
+                                       len_units=len_units))
+            report.applied_slots += 1
+
+    def _slot_key(self, server, index, bucket: int, slot: int):
+        """Read the key of the KV pair an index slot points to (to settle
+        fingerprint collisions during re-apply)."""
+        atomic = index.read_atomic(bucket, slot)
+        meta = index.read_meta(bucket, slot)
+        length = max(meta.len_units, 1) * 64
+        ga = GlobalAddress.unpack(atomic.addr)
+        target = self.cluster.mns.get(ga.node_id)
+        if target is None:
+            return None
+        try:
+            yield self.cluster.fabric.read(server.mn.nic, target.nic,
+                                           min(length, HEADER_SIZE + 256),
+                                           traffic_class="recovery")
+            raw = target.read_bytes(ga.offset, length)
+        except (NodeFailedError, IndexError):
+            return None  # points into a still-lost block: treat as unknown
+        record = parse_kv(raw)
+        return record.key if record else None
+
+    # -- tier 3: Block Area -----------------------------------------------------
+
+    def _recover_blocks(self, server, report: RecoveryReport, ckpt_iv: int):
+        t0 = self.env.now
+        old = [m for m in server.mn.blocks.meta
+               if m.role is Role.DATA and not m.valid]
+        yield from self._decode_and_install(server, old, report,
+                                            stage="old")
+        report.old_count = len(old)
+        report.recover_old_s = self.env.now - t0
+        # Background: re-derive parity held on this node (not critical,
+        # §3.4.1 — PARITY blocks recover after functionality returns).
+        yield from self._rebaseline_parity(server)
+
+    def _decode_and_install(self, server, metas, report, stage: str):
+        """Erasure-decode lost DATA blocks.
+
+        Default (the paper's evaluated design): a single recovery driver,
+        two-stage pipelined — the next stripe's reads are issued while the
+        current one is XOR-decoded.  With ``coding.recovery_workers`` > 1
+        the stripes are spread across compute nodes instead (the paper's
+        stated future work, RAMCloud-style): each worker reads surviving
+        shards through its own CN NIC, decodes locally, and ships only the
+        reconstructed block to the recovering MN.
+        """
+        workers = self.cluster.config.coding.recovery_workers
+        if workers > 1 and len(metas) > 1:
+            yield from self._decode_parallel(server, metas, workers)
+            return
+        pipeline = self.cluster.config.coding.recovery_pipeline
+        pending = None  # (meta, read-event, gather-state)
+        for meta in metas:
+            started = self._start_block_reads(server, meta)
+            if started is None:
+                continue
+            if not pipeline:
+                yield started[1]
+                yield from self._finish_block(server, started)
+                continue
+            if pending is not None:
+                yield pending[1]
+                yield from self._finish_block(server, pending)
+            pending = started
+        if pending is not None:
+            yield pending[1]
+            yield from self._finish_block(server, pending)
+
+    def _decode_parallel(self, server, metas, workers: int):
+        """Distribute stripe recovery across CN workers (future work)."""
+        cluster = self.cluster
+        cns = [cn for cn in cluster.cns.values() if cn.alive]
+        workers = max(1, min(workers, len(cns)))
+        block_size = cluster.config.cluster.block_size
+        rate = (cluster.config.cluster.cpu.xor_rate
+                if cluster.codec.name == "xor"
+                else cluster.config.cluster.cpu.rs_rate)
+
+        def worker(cn, chunk):
+            for meta in chunk:
+                started = self._start_block_reads(server, meta,
+                                                  src_nic=cn.nic)
+                if started is None:
+                    continue
+                yield started[1]
+                resolver, _ev = started
+                # Decode on the worker CN's own cores.
+                read_blocks = sum(
+                    1 for s in resolver["shards"] if s is not None)
+                yield self.env.timeout(read_blocks * block_size / rate)
+                content = self._resolve_content(resolver)
+                if content is None:
+                    continue
+
+                def install(meta=meta, content=content):
+                    server.mn.blocks.set_block(meta.block_id, content)
+                    meta.valid = True
+                    return None
+
+                # Ship only the reconstructed block to the recovering MN.
+                yield cluster.fabric.transfer(cn.nic, server.mn.nic,
+                                              block_size, execute=install,
+                                              traffic_class="recovery")
+
+        procs = []
+        for w in range(workers):
+            chunk = metas[w::workers]
+            if chunk:
+                procs.append(self.env.process(
+                    worker(cns[w], chunk),
+                    name=f"recover-worker{w}@mn{server.node_id}",
+                ))
+        if procs:
+            yield self.env.all_of(procs)
+
+    def _start_block_reads(self, server, meta, src_nic=None):
+        """Issue the reads needed to rebuild one lost block; returns
+        (resolver, all-read-event) or None when unrecoverable.
+
+        Reads land at ``src_nic`` (default: the recovering server's own
+        NIC; parallel recovery workers pass their CN NIC instead)."""
+        cluster = self.cluster
+        codec = cluster.codec
+        if src_nic is None:
+            src_nic = server.mn.nic
+        sid, pos = meta.stripe_id, meta.xor_id
+        if sid < 0:
+            return None
+        # Prefer the P holder's record; fall back to Q's for 2-MN failures.
+        p_node = cluster.layout.node_of(sid, codec.k)
+        records = []
+        for parity_index, node in enumerate(
+                [cluster.layout.node_of(sid, codec.k + j)
+                 for j in range(codec.m)]):
+            srv = cluster.servers.get(node)
+            if srv is None or not srv.mn.alive:
+                records.append(None)
+                continue
+            records.append(srv.stripes.get(sid))
+        primary = records[0]
+        reference = primary or (records[1] if len(records) > 1 else None)
+        if reference is None:
+            return None
+        events = []
+        shards: List[Optional[bytes]] = [None] * (codec.k + codec.m)
+        deltas: Dict[int, bytes] = {}
+
+        def fetch(node, size):
+            remaining = size
+            while remaining > 0:
+                this = min(_READ_CHUNK, remaining)
+                events.append(cluster.fabric.read(
+                    src_nic, cluster.mns[node].nic, this,
+                    traffic_class="recovery",
+                ))
+                remaining -= this
+
+        block_size = cluster.config.cluster.block_size
+        resolver = {"meta": meta, "sid": sid, "pos": pos,
+                    "reference": reference, "records": records,
+                    "shards": shards, "deltas": deltas, "p_node": p_node}
+        for j in range(codec.k):
+            loc = reference.data[j]
+            if j == pos or loc is None:
+                continue
+            node, block_id = loc
+            srv = cluster.servers.get(node)
+            if srv is None or not srv.mn.alive or \
+                    not srv.mn.blocks.meta[block_id].valid:
+                continue
+            fetch(node, block_size)
+            shards[j] = bytes(srv.mn.blocks.buffer(block_id))
+        for parity_index, record in enumerate(records):
+            if record is None:
+                continue
+            srv = cluster.servers[
+                cluster.layout.node_of(sid, codec.k + parity_index)]
+            fetch(srv.node_id, block_size)
+            shards[codec.k + parity_index] = bytes(
+                srv.mn.blocks.buffer(record.parity_block))
+        if primary is not None:
+            psrv = cluster.servers[p_node]
+            for j in range(codec.k):
+                dblk = primary.delta_blocks[j]
+                if dblk is not None:
+                    fetch(p_node, block_size)
+                    deltas[j] = bytes(psrv.mn.blocks.buffer(dblk))
+        all_ev = self.env.all_of(events) if events else self.env.timeout(0)
+        return resolver, all_ev
+
+    def _resolve_content(self, resolver):
+        """Pure decode: reconstruct a lost block's current contents from
+        the gathered shard/delta bytes (no simulated time)."""
+        codec = self.cluster.codec
+        pos = resolver["pos"]
+        shards = resolver["shards"]
+        deltas = resolver["deltas"]
+        block_size = self.cluster.config.cluster.block_size
+        # Fold unsealed shards to their last-encoded state.
+        folded = list(shards)
+        for j in range(codec.k):
+            if j == pos or folded[j] is None:
+                continue
+            if j in deltas:
+                folded[j] = xor_bytes(folded[j], deltas[j])
+        # Positions never allocated contribute zero blocks.
+        reference = resolver["reference"]
+        for j in range(codec.k):
+            if j != pos and folded[j] is None and reference.data[j] is None:
+                folded[j] = bytes(block_size)
+        try:
+            recon = codec.reconstruct(folded)
+        except Exception:
+            return None  # unrecoverable with surviving shards
+        content = recon[pos]
+        if pos in deltas:
+            content = xor_bytes(content, deltas[pos])
+        return content
+
+    def _finish_block(self, server, started, install: bool = True):
+        """Decode one block after its reads landed, charge CPU, and
+        (optionally) install it into the recovering node's Block Area.
+
+        With ``install=False`` the reconstructed bytes are returned only —
+        used to scan blocks that live on a *different* crashed node during
+        a two-MN recovery."""
+        resolver, _ev = started
+        cluster = self.cluster
+        codec = cluster.codec
+        meta = resolver["meta"]
+        block_size = cluster.config.cluster.block_size
+        rate = (cluster.config.cluster.cpu.xor_rate
+                if codec.name == "xor"
+                else cluster.config.cluster.cpu.rs_rate)
+        read_blocks = sum(1 for s in resolver["shards"] if s is not None)
+        yield server.mn.ec_core.submit(read_blocks * block_size / rate)
+        content = self._resolve_content(resolver)
+        if content is None:
+            return None
+        if install:
+            server.mn.blocks.set_block(meta.block_id, content)
+            meta.valid = True
+        return content
+
+    def _rebaseline_parity(self, server):
+        """Rebuild parity blocks held on the recovered node.
+
+        A recovered P holder lost the DELTA blocks too, so the stripe is
+        re-baselined: both parities are re-encoded from the data blocks'
+        *current* contents and all deltas restart from zero.  A recovered
+        Q holder re-encodes from the folded states (P's baseline), which
+        the surviving P holder still knows.
+        """
+        cluster = self.cluster
+        codec = cluster.codec
+        block_size = cluster.config.cluster.block_size
+        rate = (cluster.config.cluster.cpu.xor_rate
+                if codec.name == "xor"
+                else cluster.config.cluster.cpu.rs_rate)
+        for sid, record in list(server.stripes.items()):
+            datas: List[bytes] = []
+            for j in range(codec.k):
+                loc = record.data[j]
+                if loc is None:
+                    datas.append(bytes(block_size))
+                    continue
+                node, block_id = loc
+                srv = cluster.servers.get(node)
+                if srv is None or not srv.mn.alive \
+                        or not srv.mn.blocks.meta[block_id].valid:
+                    datas.append(bytes(block_size))
+                    continue
+                yield from self._read_remote(server, node, block_size)
+                datas.append(bytes(srv.mn.blocks.buffer(block_id)))
+            if record.parity_index == 0:
+                # Re-baseline: folded := current; deltas restart at zero.
+                yield server.mn.ec_core.submit(
+                    codec.k * block_size / rate)
+                parity = codec.encode(datas)
+                server.mn.blocks.set_block(record.parity_block, parity[0])
+                server.mn.blocks.meta[record.parity_block].valid = True
+                for j in range(codec.k):
+                    dblk = record.delta_blocks[j]
+                    if dblk is not None:
+                        server.mn.blocks.buffer(dblk)[:] = bytes(block_size)
+                    record.sealed[j] = record.data[j] is not None
+                # Push the matching Q to its (alive) holder.
+                qnode = cluster.layout.node_of(sid, codec.k + 1)
+                qsrv = cluster.servers.get(qnode)
+                if codec.m > 1 and qsrv is not None and qsrv.mn.alive:
+                    qrec = qsrv.stripes.get(sid)
+                    if qrec is not None:
+                        yield cluster.fabric.transfer(
+                            server.mn.nic, qsrv.mn.nic, block_size,
+                            traffic_class="recovery",
+                        )
+                        qsrv.mn.blocks.set_block(qrec.parity_block,
+                                                 parity[1])
+                        qrec.sealed = list(record.sealed)
+            else:
+                # Q holder: fold deltas from the surviving P holder first.
+                pnode = cluster.layout.node_of(sid, codec.k)
+                psrv = cluster.servers.get(pnode)
+                if psrv is not None and psrv.mn.alive:
+                    prec = psrv.stripes.get(sid)
+                    if prec is not None:
+                        for j in range(codec.k):
+                            dblk = prec.delta_blocks[j]
+                            if dblk is None:
+                                continue
+                            yield from self._read_remote(server, pnode,
+                                                         block_size)
+                            datas[j] = xor_bytes(
+                                datas[j],
+                                bytes(psrv.mn.blocks.buffer(dblk)),
+                            )
+                yield server.mn.ec_core.submit(codec.k * block_size / rate)
+                parity = codec.encode(datas)
+                server.mn.blocks.set_block(record.parity_block,
+                                           parity[record.parity_index])
+                server.mn.blocks.meta[record.parity_block].valid = True
+
+
+# ----------------------------------------------------------------------
+# compute-node (client) recovery — §3.4.2
+# ----------------------------------------------------------------------
+
+def restart_client(cluster, old_client):
+    """Restart a crashed client on a functional CN and return the new
+    client plus the process driving its state recovery."""
+    from .api import AcesoClient
+
+    new_cn = next(cn for cn in cluster.cns.values() if cn.alive)
+    client = AcesoClient(cluster.env, cluster.fabric, cluster.config,
+                         old_client.cli_id, new_cn, cluster.mns,
+                         cluster.servers, cluster.master, cluster.layout,
+                         cluster.codec, cluster.stats)
+    cluster.clients.append(client)
+    proc = cluster.env.process(_client_recovery(cluster, client),
+                               name=f"cn-recover(cli{client.cli_id})")
+    return client, proc
+
+
+def _client_recovery(cluster, client):
+    """Re-establish a restarted client's block state (§3.4.2)."""
+    block_size = cluster.config.cluster.block_size
+    for node, server in list(cluster.servers.items()):
+        if not server.mn.alive:
+            continue
+        try:
+            blocks = yield from client._rpc(server, "client_blocks",
+                                            client.cli_id,
+                                            response_size=256)
+        except NodeFailedError:
+            continue
+        for info in blocks:
+            yield from _recover_block(cluster, client, node, server, info)
+    client.start_background()
+    cluster.master.report_cn_recovered(client.cn.node_id)
+    return client
+
+
+def _recover_block(cluster, client, node, server, info):
+    """Validate one unfilled block: roll torn writes back, seal it, and
+    mark unwritten slots obsolete so the space is reclaimed later."""
+    sid, pos = info["stripe_id"], info["position"]
+    slot_size, slots = info["slot_size"], info["slots"]
+    if not slot_size or not slots:
+        return
+    data = yield client._post_read(node, info["offset"],
+                                   cluster.config.cluster.block_size)
+    status = None
+    delta_base = None
+    pnode = None
+    if sid >= 0:
+        pnode = cluster.layout.node_of(sid, cluster.codec.k)
+        psrv = cluster.servers.get(pnode)
+        if psrv is not None and psrv.mn.alive:
+            try:
+                status = yield from client._rpc(psrv, "stripe_status", sid,
+                                                response_size=128)
+            except NodeFailedError:
+                status = None
+    delta = None
+    if status is not None and status["delta_addrs"][pos] is not None:
+        dnode, doffset = status["delta_addrs"][pos]
+        delta_base = (dnode, doffset)
+        delta = yield client._post_read(dnode, doffset,
+                                        cluster.config.cluster.block_size)
+
+    obsolete = []
+    for slot in range(slots):
+        off = slot * slot_size
+        kv_raw = data[off:off + slot_size]
+        delta_raw = delta[off:off + slot_size] if delta else None
+        kv_written = kv_raw[0] != 0
+        delta_written = delta_raw is not None and delta_raw[0] != 0
+        if not kv_written and not delta_written:
+            obsolete.append(slot)  # never written: reclaimable
+            continue
+        consistent = wv_consistent(kv_raw) and (
+            delta_raw is None or wv_consistent(delta_raw)
+        ) and kv_written
+        if consistent:
+            continue
+        # Torn write: clear the delta and restore the KV slot from the
+        # reclamation backup (reused blocks) or to zero (fresh blocks).
+        if delta_base is not None:
+            yield client._post_write(delta_base[0], delta_base[1] + off,
+                                     bytes(slot_size))
+        restore = bytes(slot_size)
+        if info["has_backup"]:
+            backup = yield from client._rpc(server, "read_backup",
+                                            info["block_id"], off,
+                                            slot_size, response_size=128)
+            if backup is not None:
+                restore = backup
+        yield client._post_write(node, info["offset"] + off, restore)
+        obsolete.append(slot)
+    for slot in obsolete:
+        client.blocks.mark_obsolete(node, info["block_id"],
+                                    slot * slot_size, now=cluster.env.now)
+    # Seal: stamp the Index Version and fold the delta so the block stops
+    # depending on client-side state.
+    try:
+        yield from client._rpc(server, "seal_block", info["block_id"])
+    except NodeFailedError:
+        pass
+    if sid >= 0 and pnode is not None:
+        psrv = cluster.servers.get(pnode)
+        if psrv is not None and psrv.mn.alive:
+            try:
+                yield from client._rpc(psrv, "fold_delta", sid, pos)
+            except NodeFailedError:
+                pass
+    yield from client.flush_bitmaps()

@@ -1,0 +1,29 @@
+"""Erasure coding: GF(256), Reed-Solomon, XOR array codes, block stripes."""
+
+from .gf256 import gf_div, gf_inv, gf_mul, gf_pow
+from .rs import ReedSolomon
+from .stripe import (
+    RSStripeCodec,
+    StripeCodec,
+    StripeLayout,
+    XorStripeCodec,
+    make_codec,
+)
+from .xorcode import RDP, XCode, XorArrayCode, is_prime
+
+__all__ = [
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_pow",
+    "ReedSolomon",
+    "RSStripeCodec",
+    "StripeCodec",
+    "StripeLayout",
+    "XorStripeCodec",
+    "make_codec",
+    "RDP",
+    "XCode",
+    "XorArrayCode",
+    "is_prime",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Aceso reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "NodeFailedError",
+    "KeyNotFoundError",
+    "IndexFullError",
+    "AllocationError",
+    "CodingError",
+    "RecoveryError",
+    "RetryBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration."""
+
+
+class NodeFailedError(ReproError):
+    """An RDMA operation or RPC targeted a crashed node."""
+
+    def __init__(self, node_id: int, detail: str = ""):
+        super().__init__(f"node {node_id} failed{': ' + detail if detail else ''}")
+        self.node_id = node_id
+
+
+class KeyNotFoundError(ReproError):
+    """SEARCH/UPDATE/DELETE on a key that is not in the store."""
+
+    def __init__(self, key):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class IndexFullError(ReproError):
+    """No free slot in either candidate bucket (resizing is out of scope,
+    as in the paper)."""
+
+
+class AllocationError(ReproError):
+    """The memory pool cannot satisfy a block allocation."""
+
+
+class CodingError(ReproError):
+    """Erasure-coding failure (too many erasures, shape mismatch, ...)."""
+
+
+class RecoveryError(ReproError):
+    """A failure-recovery procedure could not complete."""
+
+
+class RetryBudgetExceeded(ReproError):
+    """A client op exceeded its retry budget (livelock guard in tests)."""

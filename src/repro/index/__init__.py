@@ -1,0 +1,33 @@
+"""Index substrate: hashing, slot formats, RACE index, client caches."""
+
+from .cache import CacheEntry, IndexCache
+from .hashing import bucket_pair, fingerprint8, hash64, home_of
+from .race import RaceIndex
+from .slot import (
+    COMPACT_SLOT_SIZE,
+    INVALID_SLOT_VERSION,
+    WIDE_SLOT_SIZE,
+    AtomicField,
+    CompactSlot,
+    MetaField,
+    slot_version,
+    split_slot_version,
+)
+
+__all__ = [
+    "CacheEntry",
+    "IndexCache",
+    "bucket_pair",
+    "fingerprint8",
+    "hash64",
+    "home_of",
+    "RaceIndex",
+    "COMPACT_SLOT_SIZE",
+    "INVALID_SLOT_VERSION",
+    "WIDE_SLOT_SIZE",
+    "AtomicField",
+    "CompactSlot",
+    "MetaField",
+    "slot_version",
+    "split_slot_version",
+]

@@ -1,0 +1,45 @@
+"""Stable key hashing for index placement.
+
+All hash decisions (home MN, candidate buckets, fingerprint) must be stable
+across clients and across recovery (the recovering server re-locates each
+scanned KV pair's slot by hashing its key, §3.2.3), so we derive them from
+keyed blake2b digests rather than Python's randomized ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+__all__ = ["hash64", "fingerprint8", "bucket_pair", "home_of"]
+
+
+def hash64(key: bytes, salt: bytes = b"") -> int:
+    """64-bit stable hash of *key* under *salt* (distinct hash families)."""
+    digest = hashlib.blake2b(key, digest_size=8, person=salt[:16]).digest()
+    return int.from_bytes(digest, "little")
+
+
+def fingerprint8(key: bytes) -> int:
+    """The 8-bit fingerprint stored in the index slot (§3.2.2); never 0 so
+    that fp 0 unambiguously means "empty slot"."""
+    fp = hash64(key, b"fp") & 0xFF
+    return fp or 1
+
+
+def home_of(key: bytes, num_homes: int) -> int:
+    """Which MN's index partition owns *key*."""
+    return hash64(key, b"home") % num_homes
+
+
+def bucket_pair(key: bytes, num_buckets: int) -> Tuple[int, int]:
+    """The two candidate buckets of RACE-style two-choice hashing.
+
+    The second choice is forced to differ from the first so that a full
+    first bucket always leaves an alternative.
+    """
+    b1 = hash64(key, b"bkt1") % num_buckets
+    b2 = hash64(key, b"bkt2") % num_buckets
+    if b1 == b2 and num_buckets > 1:
+        b2 = (b2 + 1) % num_buckets
+    return b1, b2

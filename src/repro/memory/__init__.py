@@ -1,0 +1,19 @@
+"""Memory-pool substrate: addresses, regions, blocks, slab classes."""
+
+from .address import NULL_ADDR, GlobalAddress
+from .blocks import BlockMeta, BlockStore, FreeBitmap, Role
+from .region import MemoryRegion
+from .slab import SIZE_UNIT, SizeClass, SizeClasser
+
+__all__ = [
+    "NULL_ADDR",
+    "GlobalAddress",
+    "BlockMeta",
+    "BlockStore",
+    "FreeBitmap",
+    "Role",
+    "MemoryRegion",
+    "SIZE_UNIT",
+    "SizeClass",
+    "SizeClasser",
+]

@@ -1,0 +1,19 @@
+"""Simulated RDMA fabric: verbs, NICs, network, and UD-based RPC."""
+
+from .network import Fabric
+from .nic import RNIC
+from .qp import DEFAULT_RPC_TIMEOUT, RpcRequest, RpcServer, rpc_call
+from .verbs import ATOMIC_SIZE, WIRE_HEADER, Opcode, Verb
+
+__all__ = [
+    "Fabric",
+    "RNIC",
+    "DEFAULT_RPC_TIMEOUT",
+    "RpcRequest",
+    "RpcServer",
+    "rpc_call",
+    "ATOMIC_SIZE",
+    "WIRE_HEADER",
+    "Opcode",
+    "Verb",
+]

@@ -1,0 +1,207 @@
+"""The fabric: posts verbs between NICs, models liveness and completion.
+
+A verb posted from ``src`` to ``dst``:
+
+1. occupies the source NIC (request and/or response bytes, whichever is
+   larger; doorbell batching collapses per-message overheads),
+2. occupies the destination NIC (full wire size per message),
+3. completes half an RTT of propagation after both NICs drain,
+4. executes its side effect (memory read/write/CAS) at completion time,
+   which serializes all accesses to destination memory,
+5. fails with :class:`NodeFailedError` if the destination is dead at post
+   or completion time (in-flight verbs are lost on a crash, like real RDMA
+   QPs erroring out).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import NodeFailedError
+from ..sim import Environment, Event
+from .nic import RNIC
+from .verbs import Opcode, Verb
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Connects all NICs; the single authority on node liveness."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._nics: Dict[int, RNIC] = {}
+        self._alive: Dict[int, bool] = {}
+        # Traffic accounting for the bandwidth-interference analyses.
+        self.bytes_by_class: Dict[str, int] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, nic: RNIC) -> RNIC:
+        if nic.node_id in self._nics:
+            raise ValueError(f"node {nic.node_id} already registered")
+        self._nics[nic.node_id] = nic
+        self._alive[nic.node_id] = True
+        return nic
+
+    def nic(self, node_id: int) -> RNIC:
+        return self._nics[node_id]
+
+    def is_alive(self, node_id: int) -> bool:
+        return self._alive.get(node_id, False)
+
+    def kill(self, node_id: int) -> None:
+        self._alive[node_id] = False
+
+    def revive(self, node_id: int) -> None:
+        self._alive[node_id] = True
+
+    # -- posting -----------------------------------------------------------
+
+    def post(self, src: RNIC, dst: RNIC, verb: Verb,
+             traffic_class: str = "client") -> Event:
+        """Post one verb; the returned event triggers with ``verb.execute()``'s
+        result (or ``None``) at completion time."""
+        return self.post_batch(src, dst, [verb], traffic_class=traffic_class)
+
+    def post_batch(self, src: RNIC, dst: RNIC, verbs: Sequence[Verb],
+                   traffic_class: str = "client") -> Event:
+        """Post a doorbell-batched group of verbs to one destination.
+
+        The source pays one doorbell for the whole group (when batching is
+        enabled); the destination processes each message.  The returned
+        event triggers with the list of per-verb results — or the single
+        result when one verb was posted.
+        """
+        if not verbs:
+            raise ValueError("empty verb batch")
+        env = self.env
+        done = env.event()
+        rtt = src.config.rtt
+
+        if not self._alive.get(dst.node_id, False):
+            # Destination already dead: the QP errors out after a timeout
+            # on the order of an RTT.
+            env.timeout(rtt).add_callback(
+                lambda _ev: done.fail(NodeFailedError(dst.node_id, "post"))
+            )
+            return done
+
+        inline_max = src.config.inline_max
+        src_bytes = sum(
+            max(v.request_size(inline_max), v.response_size()) for v in verbs
+        )
+        dst_bytes = 0
+        dst_service = 0.0
+        for v in verbs:
+            wire = v.wire_size()
+            dst_bytes += wire
+            if v.opcode.is_atomic:
+                # The destination performs a PCIe read-modify-write.
+                dst_service += dst.service_time(wire, doorbells=0, atomics=1)
+            else:
+                dst_service += dst.service_time(wire)
+        self.bytes_by_class[traffic_class] = (
+            self.bytes_by_class.get(traffic_class, 0) + dst_bytes
+        )
+
+        doorbells = 1 if src.config.doorbell_batching else len(verbs)
+        src_ev = src.submit(src_bytes, doorbells=doorbells)
+        dst_ev = dst.submit_time(dst_service)
+
+        single = len(verbs) == 1
+        pending = [2]
+
+        def on_side_done(_ev: Event) -> None:
+            pending[0] -= 1
+            if pending[0]:
+                return
+            env.timeout(rtt).add_callback(finish)
+
+        def finish(_ev: Event) -> None:
+            if not self._alive.get(dst.node_id, False):
+                done.fail(NodeFailedError(dst.node_id, "in flight"))
+                return
+            try:
+                results = [v.execute() if v.execute else None for v in verbs]
+            except BaseException as exc:  # surface memory-model bugs loudly
+                done.fail(exc)
+                return
+            done.succeed(results[0] if single else results)
+
+        src_ev.add_callback(on_side_done)
+        dst_ev.add_callback(on_side_done)
+        return done
+
+    def transfer(self, src: RNIC, dst: RNIC, size: int, *,
+                 chunk: int = 16 * 1024, execute=None,
+                 opcode: Opcode = Opcode.WRITE, duty: float = 1.0,
+                 traffic_class: str = "bulk") -> Event:
+        """Bulk transfer split into *chunk*-sized verbs, posted one at a
+        time so foreground verbs interleave between chunks (a background
+        stream must not head-of-line-block the NIC FIFO for the whole
+        transfer).  ``duty`` < 1 rate-limits the stream to that fraction
+        of the wire (QoS for background work such as offline erasure
+        coding).  ``execute`` runs once, at the completion of the final
+        chunk, and provides the event's value."""
+        done = self.env.event()
+
+        if size <= 0:
+            try:
+                done.succeed(execute() if execute else None)
+            except BaseException as exc:
+                done.fail(exc)
+            return done
+
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1]: {duty}")
+        idle = 0.0
+        if duty < 1.0:
+            idle = (chunk / dst.config.bandwidth) * (1.0 / duty - 1.0)
+        state = {"remaining": size}
+
+        def post_next(_ev=None):
+            if _ev is not None and not _ev.ok:
+                done.fail(_ev.value)
+                return
+            if state["remaining"] <= 0:
+                done.succeed(_ev.value if _ev is not None else None)
+                return
+            this = min(chunk, state["remaining"])
+            state["remaining"] -= this
+            run = execute if state["remaining"] == 0 else None
+            ev = self.post(src, dst, Verb(opcode, this, run),
+                           traffic_class=traffic_class)
+            if state["remaining"] > 0 and idle > 0:
+                ev.add_callback(
+                    lambda e: done.fail(e.value) if not e.ok
+                    else self.env.timeout(idle).add_callback(
+                        lambda _t: post_next(e))
+                )
+            else:
+                ev.add_callback(post_next)
+
+        post_next()
+        return done
+
+    # -- convenience wrappers (the hot paths) -------------------------------
+
+    def read(self, src: RNIC, dst: RNIC, size: int, execute=None,
+             traffic_class: str = "client") -> Event:
+        return self.post(src, dst, Verb(Opcode.READ, size, execute),
+                         traffic_class=traffic_class)
+
+    def write(self, src: RNIC, dst: RNIC, size: int, execute=None,
+              traffic_class: str = "client") -> Event:
+        return self.post(src, dst, Verb(Opcode.WRITE, size, execute),
+                         traffic_class=traffic_class)
+
+    def cas(self, src: RNIC, dst: RNIC, execute,
+            traffic_class: str = "client") -> Event:
+        return self.post(src, dst, Verb(Opcode.CAS, 8, execute),
+                         traffic_class=traffic_class)
+
+    def faa(self, src: RNIC, dst: RNIC, execute,
+            traffic_class: str = "client") -> Event:
+        return self.post(src, dst, Verb(Opcode.FAA, 8, execute),
+                         traffic_class=traffic_class)

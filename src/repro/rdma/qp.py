@@ -1,0 +1,138 @@
+"""Two-sided RPC over UD queue pairs (§3.5.2).
+
+Clients and MN servers exchange small RPCs (block allocation, bitmap
+flushes, block-sealed notifications, recovery queries).  An RPC occupies
+both NICs like any SEND, plus the destination's RPC-serving CPU core.
+
+Handlers may be plain callables or generator functions (when the handler
+itself needs to issue fabric operations); generator handlers are driven by
+the server loop, which models the single serving core processing requests
+one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..errors import NodeFailedError
+from ..sim import Environment, Event, Process, Store, ThroughputServer
+from .network import Fabric
+from .nic import RNIC
+from .verbs import Opcode, Verb
+
+__all__ = ["RpcRequest", "RpcServer", "rpc_call", "DEFAULT_RPC_TIMEOUT"]
+
+#: Paper §3.2.2 uses a 500 us client timeout; RPCs use the same order.
+DEFAULT_RPC_TIMEOUT = 500e-6
+
+#: Wire size of a request/response if the caller does not override it.
+DEFAULT_RPC_SIZE = 64
+
+
+@dataclass
+class RpcRequest:
+    method: str
+    args: tuple
+    reply_to: RNIC
+    reply_event: Event
+    response_size: int = DEFAULT_RPC_SIZE
+
+
+class RpcServer:
+    """RPC dispatch loop bound to one node's NIC and serving core."""
+
+    def __init__(self, env: Environment, fabric: Fabric, nic: RNIC,
+                 serving_core: ThroughputServer, handle_time: float):
+        self.env = env
+        self.fabric = fabric
+        self.nic = nic
+        self.serving_core = serving_core
+        self.handle_time = handle_time
+        self.inbox: Store = Store(env)
+        self._handlers: Dict[str, Callable] = {}
+        self._process: Optional[Process] = None
+        self.requests_served = 0
+
+    def register(self, method: str, handler: Callable) -> None:
+        if method in self._handlers:
+            raise ValueError(f"duplicate RPC handler {method!r}")
+        self._handlers[method] = handler
+
+    def handler(self, method: str) -> Callable:
+        """Direct access to a handler (same-node dispatch skips the wire)."""
+        return self._handlers[method]
+
+    def start(self) -> Process:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("RPC server already running")
+        self._process = self.env.process(self._loop(), name=f"rpc@{self.nic.name}")
+        return self._process
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("rpc server stopped")
+
+    def _loop(self) -> Generator:
+        while True:
+            request: RpcRequest = yield self.inbox.get()
+            yield self.serving_core.submit(self.handle_time)
+            handler = self._handlers.get(request.method)
+            if handler is None:
+                result = NodeFailedError(
+                    self.nic.node_id, f"no handler {request.method!r}"
+                )
+            else:
+                try:
+                    outcome = handler(*request.args)
+                    if hasattr(outcome, "send"):  # generator handler
+                        outcome = yield from outcome
+                    result = outcome
+                except Exception as exc:
+                    # Handler errors travel back to the caller; they must
+                    # never kill the serving loop.
+                    result = exc
+            self.requests_served += 1
+            self._reply(request, result)
+
+    def _reply(self, request: RpcRequest, result: Any) -> None:
+        reply_event = request.reply_event
+
+        def deliver() -> Any:
+            if not reply_event.triggered:  # caller may have timed out
+                reply_event.succeed(result)
+            return None
+
+        verb = Verb(Opcode.SEND, request.response_size, deliver)
+        self.fabric.post(self.nic, request.reply_to, verb, traffic_class="rpc")
+
+
+def rpc_call(env: Environment, fabric: Fabric, src: RNIC, server: RpcServer,
+             method: str, *args, request_size: int = DEFAULT_RPC_SIZE,
+             response_size: int = DEFAULT_RPC_SIZE,
+             timeout: float = DEFAULT_RPC_TIMEOUT) -> Generator:
+    """Issue one RPC; yields until the response arrives.
+
+    Raises :class:`NodeFailedError` if no response arrives within *timeout*
+    (crashed server) or if the handler returned an error.
+    """
+    reply_event = env.event()
+    request = RpcRequest(method, args, reply_to=src, reply_event=reply_event,
+                         response_size=response_size)
+
+    def enqueue() -> None:
+        server.inbox.put(request)
+
+    verb = Verb(Opcode.SEND, request_size, enqueue)
+    post_ev = fabric.post(src, server.nic, verb, traffic_class="rpc")
+
+    # Wait for the request to land; a dead destination fails here.
+    yield post_ev
+
+    outcome = yield env.any_of([reply_event, env.timeout(timeout)])
+    index, value = outcome
+    if index == 1:
+        raise NodeFailedError(server.nic.node_id, f"rpc {method} timed out")
+    if isinstance(value, BaseException):
+        raise value
+    return value

@@ -1,0 +1,92 @@
+"""RDMA verb definitions and wire-size accounting.
+
+The model keeps the distinctions the paper's analysis relies on:
+
+* one-sided verbs (READ, WRITE, CAS, FAA) bypass the destination CPU and
+  cost NIC resources only;
+* SEND/RECV (used for the UD-based RPC of §3.5.2) additionally occupies the
+  destination's RPC-serving CPU core;
+* CAS and FAA operate on exactly 8 bytes (the RDMA atomic granularity that
+  shapes Aceso's split Atomic/Meta slot layout);
+* small WRITEs can be inlined into the work request, sparing the source a
+  DMA read (modelled as a reduced source-side cost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["Opcode", "Verb", "ATOMIC_SIZE", "WIRE_HEADER"]
+
+#: RDMA atomics operate on 8-byte words.
+ATOMIC_SIZE = 8
+
+#: Per-message wire overhead (headers, CRCs) in bytes.  A round number in
+#: the right range for RoCE/IB transports.
+WIRE_HEADER = 32
+
+
+class Opcode(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    CAS = "cas"
+    FAA = "faa"
+    SEND = "send"
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.CAS, Opcode.FAA)
+
+
+@dataclass
+class Verb:
+    """One posted work request.
+
+    ``execute`` runs at completion time *at the destination* and produces
+    the verb's result (e.g. the bytes read, or the pre-swap value of a CAS).
+    Keeping the side effect inside the verb gives the simulation a single
+    serialization point per memory word, which is what makes RDMA_CAS
+    conflict resolution faithful.
+    """
+
+    opcode: Opcode
+    payload: int                                  # payload bytes
+    execute: Optional[Callable[[], Any]] = None   # side effect at completion
+    signaled: bool = True                         # selective signaling model
+
+    def __post_init__(self):
+        if self.opcode.is_atomic and self.payload != ATOMIC_SIZE:
+            raise ValueError(
+                f"{self.opcode.value} must carry {ATOMIC_SIZE} bytes"
+            )
+        if self.payload < 0:
+            raise ValueError("negative payload")
+
+    def wire_size(self) -> int:
+        """Bytes that traverse the wire (payload + headers)."""
+        return self.payload + WIRE_HEADER
+
+    def request_size(self, inline_max: int) -> int:
+        """Bytes the *source* NIC moves for the request.
+
+        READs send only a small request; the payload flows back on the
+        response path (charged to both NICs as the wire size — the model
+        charges the max of request/response once per side, see Fabric).
+        WRITEs at or below ``inline_max`` are inlined: the source skips the
+        DMA fetch, modelled as header-only source cost.
+        """
+        if self.opcode is Opcode.READ:
+            return WIRE_HEADER
+        if self.opcode is Opcode.WRITE and self.payload <= inline_max:
+            return WIRE_HEADER
+        return self.wire_size()
+
+    def response_size(self) -> int:
+        """Bytes flowing back to the source (READ data or an ACK)."""
+        if self.opcode is Opcode.READ:
+            return self.wire_size()
+        if self.opcode.is_atomic:
+            return ATOMIC_SIZE + WIRE_HEADER
+        return WIRE_HEADER  # ACK

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate (engine, resources, statistics)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Store, ThroughputServer
+from .stats import LatencyRecorder, OpStats, StatsRegistry, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "Store",
+    "ThroughputServer",
+    "LatencyRecorder",
+    "OpStats",
+    "StatsRegistry",
+    "percentile",
+]

@@ -1,0 +1,336 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free core in the style of SimPy: an :class:`Environment`
+owns a priority queue of scheduled events; *processes* are Python generators
+that yield :class:`Event` objects and are resumed when those events trigger.
+
+The Aceso reproduction runs every node (client, memory-node server, master)
+as a process on one shared environment.  Simulated time is a float in
+seconds; the engine itself attaches no meaning to the unit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``
+    (for Aceso: typically the failure notice of a crashed node).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once, either with a
+    value (:meth:`succeed`) or an exception (:meth:`fail`).  Triggering runs
+    all registered callbacks at the current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event triggered successfully (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._queue_trigger(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._queue_trigger(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register *cb* to run when this event triggers.
+
+        If the event has already triggered and been dispatched, the callback
+        runs immediately (same simulation time).
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator.  The process *is* an event: it triggers when the
+    generator returns (value = the ``return`` value) or raises.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process target must be a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time.
+        init = Event(env)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        interrupt_ev = Event(self.env)
+        interrupt_ev.fail(Interrupt(cause))
+        # Detach from whatever we were waiting on; the stale event may still
+        # trigger later but _resume ignores events we no longer wait on.
+        interrupt_ev.add_callback(self._resume_interrupt)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup (we were interrupted while waiting)
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env.failed.append(self)
+            self.env._queue_trigger(self)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event: {target!r}"
+            )
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env.failed.append(self)
+            self.env._queue_trigger(self)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all child events have triggered.
+
+    Value is the list of child values (in input order).  Fails fast if any
+    child fails.
+    """
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev.value for ev in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers; value = (index, value)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._events):
+            ev.add_callback(lambda event, i=i: self._on_child(i, event))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed((index, event.value))
+
+
+class Environment:
+    """Owns simulated time and the event queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        #: Processes that terminated with an uncaught exception.  Harness
+        #: code asserts this stays empty so failures never pass silently
+        #: (intentional interrupts of crashed-node processes are exempt:
+        #: they are recorded but filtered by ``unexpected_failures``).
+        self.failed: List["Process"] = []
+
+    def unexpected_failures(self) -> List["Process"]:
+        """Failed processes whose exception is not an :class:`Interrupt`."""
+        return [p for p in self.failed if not isinstance(p.value, Interrupt)]
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def _queue_trigger(self, event: Event) -> None:
+        """Queue an already-triggered event's callbacks to run now."""
+        heapq.heappush(self._heap, (self.now, next(self._seq), event))
+
+    # -- public API ------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Dispatch events until the queue drains or *until* is reached.
+
+        When *until* is given, ``now`` is advanced to exactly ``until`` even
+        if the queue drains earlier (so throughput windows are well-defined).
+        """
+        heap = self._heap
+        if until is None:
+            while heap:
+                when, __, event = heapq.heappop(heap)
+                self.now = when
+                event._run_callbacks()
+            return
+        while heap and heap[0][0] <= until:
+            when, __, event = heapq.heappop(heap)
+            self.now = when
+            event._run_callbacks()
+        self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until *event* triggers; returns its value (raises on failure)."""
+        heap = self._heap
+        while not event.triggered:
+            if not heap:
+                raise SimulationError("queue drained before event triggered")
+            when, __, ev = heapq.heappop(heap)
+            if when > limit:
+                raise SimulationError(f"time limit {limit} exceeded")
+            self.now = when
+            ev._run_callbacks()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,154 @@
+"""Measurement helpers: counters, latency recorders, throughput windows."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyRecorder", "OpStats", "StatsRegistry", "percentile"]
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Nearest-rank-with-interpolation percentile; *p* in [0, 100].
+
+    Accepts an unsorted list; returns NaN on empty input so that callers can
+    render missing series without special-casing.
+    """
+    if not samples:
+        return float("nan")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] + (data[hi] - data[lo]) * frac
+
+
+class LatencyRecorder:
+    """Collects per-operation latency samples for one operation type."""
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return sum(self.samples) / len(self.samples)
+
+    def p50(self) -> float:
+        return percentile(self.samples, 50.0)
+
+    def p99(self) -> float:
+        return percentile(self.samples, 99.0)
+
+
+@dataclass
+class OpStats:
+    """Aggregate results for one operation type over a measurement window."""
+
+    ops: int = 0
+    errors: int = 0
+    retries: int = 0
+    cas_issued: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def throughput(self, window: float) -> float:
+        """Completed operations per second of simulated time."""
+        if window <= 0:
+            return 0.0
+        return self.ops / window
+
+
+class StatsRegistry:
+    """Per-op-type statistics plus free-form counters.
+
+    A single registry is shared by all clients of one system-under-test so
+    benchmark harnesses read aggregate numbers from one place.
+    """
+
+    def __init__(self):
+        self.per_op: Dict[str, OpStats] = defaultdict(OpStats)
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.window_start: float = 0.0
+        self.window_end: Optional[float] = None
+        self.recording = True
+
+    def op(self, name: str) -> OpStats:
+        return self.per_op[name]
+
+    def record_op(self, name: str, latency: float, *, cas: int = 0,
+                  retries: int = 0) -> None:
+        if not self.recording:
+            return
+        stats = self.per_op[name]
+        stats.ops += 1
+        stats.cas_issued += cas
+        stats.retries += retries
+        stats.latency.record(latency)
+
+    def record_error(self, name: str) -> None:
+        if self.recording:
+            self.per_op[name].errors += 1
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        if self.recording:
+            self.counters[counter] += amount
+
+    # -- windowing --------------------------------------------------------
+
+    def open_window(self, now: float) -> None:
+        """Start a fresh measurement window (drops warm-up samples)."""
+        self.per_op = defaultdict(OpStats)
+        self.counters = defaultdict(float)
+        self.window_start = now
+        self.window_end = None
+        self.recording = True
+
+    def close_window(self, now: float) -> None:
+        self.window_end = now
+        self.recording = False
+
+    @property
+    def window(self) -> float:
+        if self.window_end is None:
+            raise RuntimeError("window not closed")
+        return self.window_end - self.window_start
+
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.per_op.values())
+
+    def total_throughput(self) -> float:
+        return self.total_ops() / self.window
+
+    def throughput(self, name: str) -> float:
+        return self.per_op[name].throughput(self.window)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Flat dict of headline numbers per op type (for reports)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, stats in sorted(self.per_op.items()):
+            out[name] = {
+                "ops": stats.ops,
+                "throughput": stats.throughput(self.window),
+                "p50_us": stats.latency.p50() * 1e6,
+                "p99_us": stats.latency.p99() * 1e6,
+                "mean_cas": stats.cas_issued / stats.ops if stats.ops else 0.0,
+                "retries": stats.retries,
+                "errors": stats.errors,
+            }
+        return out

@@ -1,0 +1,26 @@
+"""Workload generators and the multi-client driver."""
+
+from .micro import Op, load_ops, micro_key, micro_stream
+from .runner import RunResult, WorkloadRunner
+from .twitter import TWITTER_MIXES, twitter_stream
+from .ycsb import YCSB_MIXES, mix_stream, ycsb_key, ycsb_load_ops, ycsb_stream
+from .zipf import LatestGenerator, ScrambledZipfian, ZipfianGenerator
+
+__all__ = [
+    "Op",
+    "load_ops",
+    "micro_key",
+    "micro_stream",
+    "RunResult",
+    "WorkloadRunner",
+    "TWITTER_MIXES",
+    "twitter_stream",
+    "YCSB_MIXES",
+    "mix_stream",
+    "ycsb_key",
+    "ycsb_load_ops",
+    "ycsb_stream",
+    "LatestGenerator",
+    "ScrambledZipfian",
+    "ZipfianGenerator",
+]

@@ -1,0 +1,61 @@
+"""Microbenchmarks (§4.2): per-client unique keys, no concurrent conflicts.
+
+Each client owns a disjoint key range; the four request types (INSERT,
+UPDATE, SEARCH, DELETE) are measured separately against pre-loaded data
+(except INSERT, which measures fresh keys).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Tuple
+
+__all__ = ["Op", "micro_key", "load_ops", "micro_stream"]
+
+Op = Tuple[str, bytes, bytes]  # (verb, key, value)
+
+
+def micro_key(cli_id: int, index: int) -> bytes:
+    return b"c%04d-k%08d" % (cli_id, index)
+
+
+def _value(rng: random.Random, size: int) -> bytes:
+    return rng.randbytes(size)
+
+
+def load_ops(cli_id: int, count: int, value_size: int,
+             seed: int = 0) -> List[Op]:
+    """INSERTs that pre-load a client's key range."""
+    rng = random.Random((seed << 16) | cli_id)
+    return [("INSERT", micro_key(cli_id, i), _value(rng, value_size))
+            for i in range(count)]
+
+
+def micro_stream(verb: str, cli_id: int, loaded: int, value_size: int,
+                 seed: int = 0) -> Iterator[Op]:
+    """Endless stream of one request type over a client's own keys.
+
+    INSERT streams fresh keys beyond the loaded range; DELETE alternates
+    delete/re-insert so the stream never exhausts the key space (each
+    DELETE is still a genuine delete of a live key).
+    """
+    rng = random.Random((seed << 16) | cli_id | 0xD00D)
+    if verb == "INSERT":
+        for i in itertools.count(loaded):
+            yield ("INSERT", micro_key(cli_id, i), _value(rng, value_size))
+    elif verb in ("UPDATE", "SEARCH"):
+        while True:
+            i = rng.randrange(loaded)
+            key = micro_key(cli_id, i)
+            value = _value(rng, value_size) if verb == "UPDATE" else b""
+            yield (verb, key, value)
+    elif verb == "DELETE":
+        i = 0
+        while True:
+            key = micro_key(cli_id, i % loaded)
+            yield ("DELETE", key, b"")
+            yield ("INSERT", key, _value(rng, value_size))
+            i += 1
+    else:
+        raise ValueError(f"unknown verb {verb!r}")

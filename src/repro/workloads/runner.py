@@ -1,0 +1,142 @@
+"""Multi-client workload driver.
+
+Runs one closed-loop process per client against a cluster (Aceso or
+FUSEE), with a load phase, a warm-up, and a measurement window; results
+come from the cluster's shared :class:`~repro.sim.stats.StatsRegistry`.
+
+DELETE streams that re-insert, MN crashes mid-run, and degraded phases
+all work: errors a workload expects (key-not-found after a racy delete)
+are tolerated and counted, anything else fails the run loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..errors import KeyNotFoundError, RetryBudgetExceeded
+from .micro import Op
+
+__all__ = ["RunResult", "WorkloadRunner"]
+
+
+@dataclass
+class RunResult:
+    """Summary of one measurement window."""
+
+    duration: float
+    per_op: Dict[str, Dict[str, float]]
+    counters: Dict[str, float]
+    total_ops: int
+
+    @property
+    def total_mops(self) -> float:
+        return self.total_ops / self.duration / 1e6
+
+    def throughput(self, op: str) -> float:
+        entry = self.per_op.get(op)
+        return entry["throughput"] if entry else 0.0
+
+    def p50(self, op: str) -> float:
+        entry = self.per_op.get(op)
+        return entry["p50_us"] if entry else float("nan")
+
+    def p99(self, op: str) -> float:
+        entry = self.per_op.get(op)
+        return entry["p99_us"] if entry else float("nan")
+
+    def mean_cas(self, op: str) -> float:
+        entry = self.per_op.get(op)
+        return entry["mean_cas"] if entry else 0.0
+
+
+class WorkloadRunner:
+    """Drives clients of one cluster through load + measured phases."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.env = cluster.env
+        self._stop = False
+
+    # -- load phase ----------------------------------------------------------
+
+    def load(self, ops_per_client: List[List[Op]],
+             deadline: float = 1e6) -> None:
+        """Run fixed op lists to completion (not measured)."""
+        self.cluster.start()
+        procs = []
+        for client, ops in zip(self.cluster.clients, ops_per_client):
+            procs.append(self.env.process(
+                self._run_fixed(client, ops), name=f"load@{client.cli_id}"
+            ))
+        done = self.env.all_of(procs)
+        self.env.run_until_event(done, limit=self.env.now + deadline)
+        self._raise_failures()
+
+    def _run_fixed(self, client, ops: Iterable[Op]):
+        for verb, key, value in ops:
+            yield from self._dispatch(client, verb, key, value)
+
+    # -- measured phase ----------------------------------------------------------
+
+    def measure(self, streams: List[Iterator[Op]], duration: float,
+                warmup: float = 0.0) -> RunResult:
+        """Closed-loop run: warm up, then measure for *duration* sim
+        seconds; returns the aggregate result."""
+        self.cluster.start()
+        self._stop = False
+        procs = []
+        for client, stream in zip(self.cluster.clients, streams):
+            procs.append(self.env.process(
+                self._run_stream(client, stream),
+                name=f"loop@{client.cli_id}",
+            ))
+        if warmup > 0:
+            self.env.run(until=self.env.now + warmup)
+        stats = self.cluster.stats
+        stats.open_window(self.env.now)
+        self.env.run(until=self.env.now + duration)
+        stats.close_window(self.env.now)
+        self._stop = True
+        # Let in-flight ops drain so no generator is left suspended.
+        self.env.run(until=self.env.now + min(duration, 0.05))
+        self._raise_failures()
+        return RunResult(
+            duration=stats.window,
+            per_op=stats.summary(),
+            counters=dict(stats.counters),
+            total_ops=stats.total_ops(),
+        )
+
+    def _run_stream(self, client, stream: Iterator[Op]):
+        for verb, key, value in stream:
+            if self._stop or not client.alive:
+                return
+            yield from self._dispatch(client, verb, key, value)
+
+    # -- op dispatch -------------------------------------------------------------
+
+    def _dispatch(self, client, verb: str, key: bytes, value: bytes):
+        try:
+            if verb == "SEARCH":
+                yield from client.search(key)
+            elif verb == "UPDATE":
+                yield from client.update(key, value)
+            elif verb == "INSERT":
+                yield from client.insert(key, value)
+            elif verb == "DELETE":
+                yield from client.delete(key)
+            else:
+                raise ValueError(f"unknown verb {verb!r}")
+        except KeyNotFoundError:
+            pass  # expected under racy delete/search mixes
+        except RetryBudgetExceeded:
+            self.cluster.stats.bump("retry_budget_exceeded")
+
+    def _raise_failures(self) -> None:
+        failures = self.env.unexpected_failures()
+        if failures:
+            proc = failures[0]
+            raise AssertionError(
+                f"workload process failed: {proc.name}: {proc.value!r}"
+            ) from proc.value

@@ -1,0 +1,95 @@
+"""Replay real key-value trace files (e.g. Twitter's cache traces [84]).
+
+The paper replays three clusters from Yang et al.'s open Twitter cache
+dataset.  The traces are too large to ship here, but users who download
+them can replay them directly: this module parses the published CSV format
+
+    timestamp,anonymized key,key size,value size,client id,operation,TTL
+
+and turns each record into the runner's ``(verb, key, value)`` ops, with
+round-robin sharding across clients.  Unknown/irrelevant operations
+(``incr``, ``prepend``...) map onto the nearest of the four core verbs.
+
+Without a trace file, :mod:`repro.workloads.twitter` provides the
+synthetic per-cluster mixes the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from .micro import Op
+
+__all__ = ["parse_trace_line", "replay_trace", "trace_stream",
+           "OP_MAPPING"]
+
+#: Twitter-trace operations -> the KV store's four core verbs.
+OP_MAPPING = {
+    "get": "SEARCH",
+    "gets": "SEARCH",
+    "set": "UPDATE",
+    "cas": "UPDATE",
+    "replace": "UPDATE",
+    "append": "UPDATE",
+    "prepend": "UPDATE",
+    "incr": "UPDATE",
+    "decr": "UPDATE",
+    "add": "INSERT",
+    "delete": "DELETE",
+}
+
+
+def parse_trace_line(line: str, max_value: int = 4096) -> Optional[Op]:
+    """One CSV record -> (verb, key, value); None for malformed lines."""
+    parts = line.strip().split(",")
+    if len(parts) < 6:
+        return None
+    _ts, key, _key_size, value_size, _client, operation = parts[:6]
+    verb = OP_MAPPING.get(operation.strip().lower())
+    if verb is None or not key:
+        return None
+    if verb in ("SEARCH", "DELETE"):
+        return (verb, key.encode(), b"")
+    try:
+        size = min(max(int(value_size), 1), max_value)
+    except ValueError:
+        size = 64
+    return (verb, key.encode(), b"\x00" * size)
+
+
+def replay_trace(source: Union[str, IO[str]], *,
+                 limit: Optional[int] = None,
+                 max_value: int = 4096) -> Iterator[Op]:
+    """Stream ops from a trace file path or open text handle."""
+    own = isinstance(source, str)
+    handle = open(source, "r") if own else source
+    try:
+        count = 0
+        for line in handle:
+            op = parse_trace_line(line, max_value=max_value)
+            if op is None:
+                continue
+            yield op
+            count += 1
+            if limit is not None and count >= limit:
+                return
+    finally:
+        if own:
+            handle.close()
+
+
+def trace_stream(ops: Iterable[Op], cli_id: int, num_clients: int,
+                 *, loop: bool = True) -> Iterator[Op]:
+    """Shard a trace across clients (record i goes to client i mod n).
+
+    With ``loop`` the shard repeats forever, as the timed runner expects;
+    the ops must then be a re-iterable sequence (e.g. a list), not a
+    one-shot generator.
+    """
+    if num_clients < 1 or not 0 <= cli_id < num_clients:
+        raise ValueError("need 0 <= cli_id < num_clients")
+    while True:
+        yield from itertools.islice(ops, cli_id, None, num_clients)
+        if not loop:
+            return

@@ -1,0 +1,40 @@
+"""Twitter production-trace stand-ins (§4.1, [84]).
+
+The paper replays three traces from Yang et al.'s Twitter cache study.
+The traces themselves are not redistributable, and the evaluation exploits
+exactly one property of each: its op mix.
+
+* STORAGE   — a storage-cluster cache: read-dominated;
+* COMPUTE   — compute-generated data, frequently modified: update-heavy;
+* TRANSIENT — short-lived data: insert/delete-heavy.
+
+We synthesise streams with those mixes over a Zipfian key space (Twitter
+workloads are strongly skewed), which preserves the read/write balance
+that drives Fig. 11's result shape.  The mixes below are stated in the
+module so a user with trace access can swap in the real ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .micro import Op
+from .ycsb import mix_stream
+
+__all__ = ["TWITTER_MIXES", "twitter_stream"]
+
+TWITTER_MIXES = {
+    # verb probabilities per cluster type (synthesised; see module doc).
+    "STORAGE": {"SEARCH": 0.9, "UPDATE": 0.1},
+    "COMPUTE": {"SEARCH": 0.4, "UPDATE": 0.6},
+    "TRANSIENT": {"SEARCH": 0.3, "INSERT": 0.35, "DELETE": 0.35},
+}
+
+
+def twitter_stream(cluster: str, cli_id: int, total_keys: int,
+                   value_size: int, seed: int = 0) -> Iterator[Op]:
+    try:
+        mix = TWITTER_MIXES[cluster.upper()]
+    except KeyError:
+        raise ValueError(f"unknown Twitter cluster {cluster!r}") from None
+    return mix_stream(mix, cli_id, total_keys, value_size, seed=seed)

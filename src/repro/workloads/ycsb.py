@@ -1,0 +1,94 @@
+"""YCSB core workloads A-D (§4.1) plus parameterised read/update mixes.
+
+* A: 50% SEARCH / 50% UPDATE          * B: 95% SEARCH / 5% UPDATE
+* C: 100% SEARCH                      * D: 95% SEARCH / 5% INSERT (latest)
+
+Keys follow the default Zipfian distribution (theta = 0.99) over a shared
+key space of (scaled-down) one million keys; all clients draw from the
+same space, so hot keys contend — the regime Aceso's single-CAS commit is
+built for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from .micro import Op
+from .zipf import LatestGenerator, ScrambledZipfian
+
+__all__ = ["YCSB_MIXES", "ycsb_key", "ycsb_load_ops", "ycsb_stream",
+           "mix_stream"]
+
+YCSB_MIXES = {
+    "A": {"SEARCH": 0.5, "UPDATE": 0.5},
+    "B": {"SEARCH": 0.95, "UPDATE": 0.05},
+    "C": {"SEARCH": 1.0},
+    "D": {"SEARCH": 0.95, "INSERT": 0.05},
+}
+
+
+def ycsb_key(index: int) -> bytes:
+    return b"user%012d" % index
+
+
+def _value(rng: random.Random, size: int) -> bytes:
+    return rng.randbytes(size)
+
+
+def ycsb_load_ops(cli_id: int, num_clients: int, total_keys: int,
+                  value_size: int, seed: int = 0):
+    """Partition the shared key space across clients for loading."""
+    rng = random.Random((seed << 20) | cli_id)
+    return [("INSERT", ycsb_key(i), _value(rng, value_size))
+            for i in range(cli_id, total_keys, num_clients)]
+
+
+def ycsb_stream(workload: str, cli_id: int, total_keys: int,
+                value_size: int, theta: float = 0.99,
+                seed: int = 0) -> Iterator[Op]:
+    """Endless op stream for one client of a YCSB core workload."""
+    try:
+        mix = YCSB_MIXES[workload.upper()]
+    except KeyError:
+        raise ValueError(f"unknown YCSB workload {workload!r}") from None
+    return mix_stream(mix, cli_id, total_keys, value_size, theta=theta,
+                      seed=seed, latest=(workload.upper() == "D"))
+
+
+def mix_stream(mix: dict, cli_id: int, total_keys: int, value_size: int,
+               *, theta: float = 0.99, seed: int = 0,
+               latest: bool = False) -> Iterator[Op]:
+    """Endless stream drawing verbs from *mix* and keys Zipf-distributed.
+
+    ``mix`` maps verb -> probability (must sum to 1).  With ``latest``,
+    reads favour recently inserted keys (YCSB D) and INSERTs extend the
+    key space; insert keys are salted per client so clients never collide.
+    """
+    if abs(sum(mix.values()) - 1.0) > 1e-9:
+        raise ValueError(f"mix probabilities sum to {sum(mix.values())}")
+    rng = random.Random((seed << 20) | (cli_id * 7919 + 13))
+    verbs = sorted(mix)
+    weights = [mix[v] for v in verbs]
+    if latest:
+        gen = LatestGenerator(total_keys, rng=rng)
+    else:
+        gen = ScrambledZipfian(total_keys, theta, rng=rng)
+    insert_seq = 0
+    while True:
+        verb = rng.choices(verbs, weights)[0]
+        if verb == "INSERT":
+            if latest:
+                index = gen.grow()
+                key = ycsb_key(index)
+            else:
+                key = b"new-%04d-%08d" % (cli_id, insert_seq)
+                insert_seq += 1
+            yield ("INSERT", key, _value(rng, value_size))
+        elif verb == "UPDATE":
+            yield ("UPDATE", ycsb_key(gen.next_index()),
+                   _value(rng, value_size))
+        elif verb == "DELETE":
+            yield ("DELETE", ycsb_key(gen.next_index()), b"")
+        else:
+            yield ("SEARCH", ycsb_key(gen.next_index()), b"")

@@ -1,0 +1,92 @@
+"""Tests for the analytic capacity model — including agreement with the
+simulator at saturation."""
+
+import pytest
+
+from repro.analysis import (
+    capacity_report,
+    op_cost,
+    predicted_capacity,
+    predicted_ratios,
+)
+from repro.config import aceso_config, fusee_config
+
+
+def small_kwargs():
+    return dict(kv_size=1024, block_size=128 * 1024)
+
+
+def test_fusee_write_uses_n_cas():
+    cfg = fusee_config(replication_factor=3, **small_kwargs())
+    cost = op_cost(cfg, "UPDATE")
+    assert cost.atomic_verbs == 3
+    assert cost.verbs == 6  # 3 KV replicas + 3 CAS
+
+
+def test_aceso_write_uses_one_cas():
+    cfg = aceso_config(**small_kwargs())
+    cost = op_cost(cfg, "UPDATE")
+    assert cost.atomic_verbs == 1
+    assert cost.verbs == 3  # KV + delta + CAS
+
+
+def test_search_costs_no_atomics():
+    for cfg in (aceso_config(**small_kwargs()),
+                fusee_config(**small_kwargs())):
+        assert op_cost(cfg, "SEARCH").atomic_verbs == 0
+
+
+def test_delete_uses_tombstone_class():
+    cfg = aceso_config(**small_kwargs())
+    assert op_cost(cfg, "DELETE").bytes_moved < \
+        op_cost(cfg, "UPDATE").bytes_moved
+
+
+def test_insert_pays_bucket_query():
+    cfg = aceso_config(**small_kwargs())
+    assert op_cost(cfg, "INSERT").verbs == op_cost(cfg, "UPDATE").verbs + 2
+
+
+def test_predicted_write_ratio_matches_paper_direction():
+    ratios = predicted_ratios(aceso_config(**small_kwargs()),
+                              fusee_config(**small_kwargs()))
+    assert ratios["UPDATE"] > 1.5
+    assert ratios["DELETE"] > 1.5
+    assert 0.7 < ratios["SEARCH"] < 1.3
+
+
+def test_capacity_scales_with_mns():
+    cfg = aceso_config(**small_kwargs())
+    base = predicted_capacity(cfg, "UPDATE")
+    cfg.cluster.num_mns = 10
+    cfg.coding.group_size = 10
+    cfg.coding.k = 8
+    assert predicted_capacity(cfg, "UPDATE") == pytest.approx(2 * base)
+
+
+def test_report_renders():
+    report = capacity_report(aceso_config(**small_kwargs()))
+    assert "UPDATE" in report and "Mops" in report
+
+
+def test_model_agrees_with_simulator_at_saturation():
+    """The simulator's measured UPDATE throughput lands within 2x of the
+    analytic capacity, and well below it (queueing + background work)."""
+    from repro.bench.common import SCALES, build_cluster, load_micro, \
+        micro_throughput
+    scale = SCALES["smoke"]
+    cfg = aceso_config(**scale.cluster_kwargs())
+    predicted = predicted_capacity(cfg, "UPDATE")
+    cluster = build_cluster("aceso", scale)
+    runner = load_micro(cluster, scale)
+    measured = micro_throughput(cluster, scale, "UPDATE",
+                                runner=runner).throughput("UPDATE")
+    assert measured < predicted * 1.05
+    assert measured > predicted * 0.3
+
+
+def test_model_predicts_fig8_ordering():
+    """The analytic ratio and the simulated ratio agree on who wins."""
+    ratios = predicted_ratios(aceso_config(**small_kwargs()),
+                              fusee_config(**small_kwargs()))
+    assert ratios["UPDATE"] > ratios["SEARCH"]

@@ -1,0 +1,137 @@
+"""End-to-end CRUD tests for the Aceso cluster."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.index.hashing import home_of
+from repro.memory.blocks import Role
+
+from tests.conftest import make_aceso
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_aceso(num_cns=2, clients_per_cn=1)
+
+
+def test_insert_then_search(cluster):
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-a", b"value-a"))
+    assert cluster.run_op(c.search(b"crud-a")) == b"value-a"
+
+
+def test_search_missing_key(cluster):
+    c = cluster.clients[0]
+    with pytest.raises(KeyNotFoundError):
+        cluster.run_op(c.search(b"crud-never-inserted"))
+
+
+def test_update_changes_value(cluster):
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-b", b"v1"))
+    cluster.run_op(c.update(b"crud-b", b"v2"))
+    assert cluster.run_op(c.search(b"crud-b")) == b"v2"
+
+
+def test_update_missing_key_raises(cluster):
+    c = cluster.clients[0]
+    with pytest.raises(KeyNotFoundError):
+        cluster.run_op(c.update(b"crud-ghost", b"x"))
+
+
+def test_delete_then_search_raises(cluster):
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-c", b"v"))
+    cluster.run_op(c.delete(b"crud-c"))
+    with pytest.raises(KeyNotFoundError):
+        cluster.run_op(c.search(b"crud-c"))
+
+
+def test_delete_missing_key_raises(cluster):
+    c = cluster.clients[0]
+    with pytest.raises(KeyNotFoundError):
+        cluster.run_op(c.delete(b"crud-ghost2"))
+
+
+def test_reinsert_after_delete(cluster):
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-d", b"first"))
+    cluster.run_op(c.delete(b"crud-d"))
+    cluster.run_op(c.insert(b"crud-d", b"second"))
+    assert cluster.run_op(c.search(b"crud-d")) == b"second"
+
+
+def test_cross_client_visibility(cluster):
+    c0, c1 = cluster.clients[0], cluster.clients[1]
+    cluster.run_op(c0.insert(b"crud-shared", b"from-c0"))
+    assert cluster.run_op(c1.search(b"crud-shared")) == b"from-c0"
+    cluster.run_op(c1.update(b"crud-shared", b"from-c1"))
+    assert cluster.run_op(c0.search(b"crud-shared")) == b"from-c1"
+
+
+def test_insert_existing_key_upserts(cluster):
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-up", b"one"))
+    cluster.run_op(c.insert(b"crud-up", b"two"))
+    assert cluster.run_op(c.search(b"crud-up")) == b"two"
+
+
+def test_values_of_different_sizes(cluster):
+    c = cluster.clients[0]
+    for size in (1, 63, 64, 100, 200):
+        key = b"crud-size-%d" % size
+        value = bytes([size % 251]) * size
+        cluster.run_op(c.insert(key, value))
+        assert cluster.run_op(c.search(key)) == value
+
+
+def test_value_size_change_on_update(cluster):
+    """§3.2.2: the len field repairs itself when the size class changes."""
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-grow", b"small"))
+    big = b"B" * 200
+    cluster.run_op(c.update(b"crud-grow", big))
+    assert cluster.run_op(c.search(b"crud-grow")) == big
+    # and read by the *other* client, which has no cache entry:
+    assert cluster.run_op(cluster.clients[1].search(b"crud-grow")) == big
+
+
+def test_many_keys_roundtrip(cluster):
+    c = cluster.clients[0]
+    keys = {b"crud-many-%03d" % i: b"val-%03d" % i for i in range(150)}
+    for k, v in keys.items():
+        cluster.run_op(c.insert(k, v))
+    for k, v in keys.items():
+        assert cluster.run_op(c.search(k)) == v
+
+
+def test_commit_point_is_index_cas(cluster):
+    """Out-of-place writes: the KV bytes land before the index CAS, so a
+    value is either fully visible or not at all."""
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-atomic", b"visible"))
+    value = cluster.run_op(cluster.clients[1].search(b"crud-atomic"))
+    assert value == b"visible"
+
+
+def test_keys_spread_across_homes(cluster):
+    homes = {home_of(b"crud-many-%03d" % i, 5) for i in range(150)}
+    assert len(homes) == 5
+
+
+def test_delta_blocks_exist_while_unsealed(cluster):
+    """Fig. 6: unsealed data blocks have a DELTA twin on the P holder."""
+    delta_blocks = sum(
+        len(mn.blocks.blocks_with_role(Role.DELTA))
+        for mn in cluster.mns.values()
+    )
+    assert delta_blocks >= 1
+
+
+def test_tombstone_uses_small_size_class(cluster):
+    """DELETE writes a zero-length-value record (64 B class)."""
+    c = cluster.clients[0]
+    cluster.run_op(c.insert(b"crud-tomb", b"x" * 200))
+    cluster.run_op(c.delete(b"crud-tomb"))
+    open_block = c.blocks.open_block(64)
+    assert open_block is not None

@@ -1,0 +1,179 @@
+"""Slot-versioning protocol tests (Algorithm 1, §3.2.2)."""
+
+import pytest
+
+from repro.index.hashing import home_of
+from repro.index.slot import AtomicField, MetaField, slot_version
+
+from tests.conftest import make_aceso
+
+
+def locate_slot(cluster, key):
+    """(index, bucket, slot) of a committed key, found by fingerprint and
+    address chase through the raw index."""
+    home = home_of(key, cluster.config.cluster.num_mns)
+    index = cluster.mns[home].index
+    from repro.index.hashing import fingerprint8
+    fp = fingerprint8(key)
+    for bucket in index.candidate_buckets(key):
+        for slot in range(index.bucket_slots):
+            atomic = index.read_atomic(bucket, slot)
+            if not atomic.empty and atomic.fp == fp:
+                return index, bucket, slot
+    raise AssertionError(f"slot for {key!r} not found")
+
+
+def test_version_increments_per_update():
+    cluster = make_aceso()
+    c = cluster.clients[0]
+    key = b"ver-key"
+    cluster.run_op(c.insert(key, b"v0"))
+    index, bucket, slot = locate_slot(cluster, key)
+    v0 = index.read_atomic(bucket, slot).ver
+    for i in range(3):
+        cluster.run_op(c.update(key, b"v%d" % (i + 1)))
+    assert index.read_atomic(bucket, slot).ver == (v0 + 3) & 0xFF
+
+
+def test_kv_pair_records_slot_version():
+    cluster = make_aceso()
+    c = cluster.clients[0]
+    key = b"ver-rec"
+    cluster.run_op(c.insert(key, b"a"))
+    cluster.run_op(c.update(key, b"b"))
+    index, bucket, slot = locate_slot(cluster, key)
+    atomic = index.read_atomic(bucket, slot)
+    meta = index.read_meta(bucket, slot)
+    from repro.core.kvpair import parse_kv
+    from repro.memory.address import GlobalAddress
+    ga = GlobalAddress.unpack(atomic.addr)
+    raw = cluster.mns[ga.node_id].read_bytes(ga.offset, meta.len_units * 64)
+    record = parse_kv(raw)
+    assert record.slot_version == slot_version(meta.epoch, atomic.ver)
+
+
+def test_epoch_rolls_over_after_256_updates():
+    """ver wraps 255 -> 0 and the epoch advances by 2 (lock/unlock)."""
+    cluster = make_aceso(blocks_per_mn=192)
+    c = cluster.clients[0]
+    key = b"ver-roll"
+    cluster.run_op(c.insert(key, b"x"))  # ver = 1
+    index, bucket, slot = locate_slot(cluster, key)
+    assert index.read_meta(bucket, slot).epoch == 0
+    for i in range(256):
+        cluster.run_op(c.update(key, b"u%03d" % (i % 100)))
+    atomic = index.read_atomic(bucket, slot)
+    meta = index.read_meta(bucket, slot)
+    assert atomic.ver == 1  # wrapped past 0
+    assert meta.epoch == 2
+    assert not meta.locked
+    assert cluster.run_op(c.search(key)) is not None
+
+
+def test_logical_version_monotone_across_rollover():
+    cluster = make_aceso(blocks_per_mn=192)
+    c = cluster.clients[0]
+    key = b"ver-mono"
+    cluster.run_op(c.insert(key, b"x"))
+    index, bucket, slot = locate_slot(cluster, key)
+    last = -1
+    for i in range(300):
+        cluster.run_op(c.update(key, b"%d" % i))
+        atomic = index.read_atomic(bucket, slot)
+        meta = index.read_meta(bucket, slot)
+        current = slot_version(meta.epoch, atomic.ver)
+        assert current > last
+        last = current
+
+
+def test_lock_takeover_after_timeout():
+    """§3.2.2 remark 2: a dead client's Meta lock is taken over by
+    bumping the epoch to the next odd number."""
+    cluster = make_aceso()
+    c = cluster.clients[0]
+    key = b"ver-lock"
+    cluster.run_op(c.insert(key, b"x"))
+    index, bucket, slot = locate_slot(cluster, key)
+    # Simulate a client that died holding the lock: force an odd epoch.
+    meta = index.read_meta(bucket, slot)
+    index.write_meta(bucket, slot, MetaField(meta.epoch + 1,
+                                             meta.len_units))
+    c2 = cluster.clients[1]
+    cluster.run_op(c2.update(key, b"rescued"))
+    assert cluster.run_op(c.search(key)) == b"rescued"
+    assert not index.read_meta(bucket, slot).locked
+    assert cluster.stats.counters.get("lock_takeovers", 0) >= 1
+
+
+def test_concurrent_updates_same_key_linearizable():
+    """Zipf-style contention: many clients update one key; the final
+    value must be the last committed one and every CAS conflict must
+    have been resolved by retry."""
+    cluster = make_aceso(num_cns=4, clients_per_cn=2)
+    key = b"ver-hot"
+    cluster.run_op(cluster.clients[0].insert(key, b"init"))
+    env = cluster.env
+    procs = []
+    for i, client in enumerate(cluster.clients):
+        def writer(client=client, i=i):
+            for j in range(10):
+                yield from client.update(key, b"c%d-%d" % (i, j))
+        procs.append(env.process(writer()))
+    env.run_until_event(env.all_of(procs))
+    assert cluster.env.unexpected_failures() == []
+    # total committed updates = 80; version advanced by exactly 80.
+    index, bucket, slot = locate_slot(cluster, key)
+    meta = index.read_meta(bucket, slot)
+    atomic = index.read_atomic(bucket, slot)
+    assert slot_version(meta.epoch, atomic.ver) == slot_version(0, 1) + 80
+    # the value is one of the writers' final writes
+    final = cluster.run_op(cluster.clients[0].search(key))
+    assert final.endswith(b"-9")
+
+
+def test_conflicting_writers_invalidate_orphans():
+    """A failed commit marks its orphan KV pair with version -1 so
+    recovery can never resurrect it."""
+    cluster = make_aceso(num_cns=2, clients_per_cn=2)
+    key = b"ver-orphan"
+    cluster.run_op(cluster.clients[0].insert(key, b"init"))
+    env = cluster.env
+    procs = [env.process(c.update(key, b"w%d" % i))
+             for i, c in enumerate(cluster.clients)]
+    env.run_until_event(env.all_of(procs))
+    conflicts = cluster.stats.counters.get("commit_conflicts", 0)
+    if conflicts:
+        # every conflicting write left an invalidated record behind;
+        # scan all DATA blocks and check no two valid records of this
+        # key share a slot version.
+        from repro.core.kvpair import parse_kv
+        from repro.memory.blocks import Role
+        versions = []
+        for mn in cluster.mns.values():
+            for meta in mn.blocks.meta:
+                if meta.role is not Role.DATA or not meta.slots:
+                    continue
+                buf = mn.blocks.buffer(meta.block_id)
+                for s in range(meta.slots):
+                    raw = bytes(buf[s * meta.slot_size:(s + 1) * meta.slot_size])
+                    rec = parse_kv(raw)
+                    if rec and rec.key == key and not rec.invalidated:
+                        versions.append(rec.slot_version)
+        assert len(versions) == len(set(versions))
+
+
+def test_cache_trusts_coherent_pair():
+    """A successful CAS against a cached Atomic word implies the cached
+    Meta (epoch) was still current: updates through the cache never skip
+    or repeat versions."""
+    cluster = make_aceso()
+    c0, c1 = cluster.clients
+    key = b"ver-pair"
+    cluster.run_op(c0.insert(key, b"x"))
+    for i in range(5):
+        cluster.run_op(c0.update(key, b"a%d" % i))
+        cluster.run_op(c1.update(key, b"b%d" % i))
+    index, bucket, slot = locate_slot(cluster, key)
+    atomic = index.read_atomic(bucket, slot)
+    meta = index.read_meta(bucket, slot)
+    assert slot_version(meta.epoch, atomic.ver) == slot_version(0, 11)

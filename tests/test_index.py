@@ -1,0 +1,285 @@
+"""Tests for hashing, slot formats, the RACE index, and client caches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import (
+    AtomicField,
+    CacheEntry,
+    CompactSlot,
+    IndexCache,
+    INVALID_SLOT_VERSION,
+    MetaField,
+    RaceIndex,
+    bucket_pair,
+    fingerprint8,
+    hash64,
+    home_of,
+    slot_version,
+    split_slot_version,
+)
+from repro.memory import MemoryRegion
+
+keys = st.binary(min_size=1, max_size=64)
+
+
+# ---------------------------------------------------------------- hashing
+
+@given(keys)
+def test_hash64_deterministic(key):
+    assert hash64(key) == hash64(key)
+
+
+@given(keys)
+def test_hash_salts_differ(key):
+    assert hash64(key, b"a") != hash64(key, b"b") or key == b""
+
+
+@given(keys)
+def test_fingerprint_range(key):
+    fp = fingerprint8(key)
+    assert 1 <= fp <= 255  # 0 means "empty slot"
+
+
+@given(keys, st.integers(min_value=1, max_value=64))
+def test_home_in_range(key, n):
+    assert 0 <= home_of(key, n) < n
+
+
+@given(keys)
+def test_bucket_pair_distinct(key):
+    b1, b2 = bucket_pair(key, 128)
+    assert b1 != b2
+    assert 0 <= b1 < 128 and 0 <= b2 < 128
+
+
+def test_bucket_pair_single_bucket():
+    b1, b2 = bucket_pair(b"k", 1)
+    assert b1 == b2 == 0
+
+
+def test_hash_spreads_homes():
+    counts = [0] * 5
+    for i in range(1000):
+        counts[home_of(b"key%d" % i, 5)] += 1
+    assert min(counts) > 100  # roughly uniform
+
+
+# ---------------------------------------------------------------- slots
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_atomic_roundtrip(fp, ver, addr):
+    field = AtomicField(fp, ver, addr)
+    assert AtomicField.unpack(field.pack()) == field
+
+
+@given(st.integers(min_value=0, max_value=(1 << 56) - 1),
+       st.integers(min_value=0, max_value=255))
+def test_meta_roundtrip(epoch, len_units):
+    field = MetaField(epoch, len_units)
+    assert MetaField.unpack(field.pack()) == field
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=(1 << 48) - 1))
+def test_compact_roundtrip(fp, len_units, addr):
+    field = CompactSlot(fp, len_units, addr)
+    assert CompactSlot.unpack(field.pack()) == field
+
+
+def test_atomic_field_ranges():
+    with pytest.raises(ValueError):
+        AtomicField(fp=256).pack()
+    with pytest.raises(ValueError):
+        AtomicField(ver=-1).pack()
+    with pytest.raises(ValueError):
+        AtomicField(addr=1 << 48).pack()
+
+
+def test_atomic_bumped_wraps():
+    assert AtomicField(1, 255, 7).bumped().ver == 0
+    assert AtomicField(1, 4, 7).bumped().ver == 5
+
+
+def test_empty_slot_detection():
+    assert AtomicField(0, 0, 0).empty
+    assert not AtomicField(1, 0, 0).empty
+    assert CompactSlot(0, 0, 0).empty
+
+
+def test_meta_lock_flag_is_low_epoch_bit():
+    assert MetaField(epoch=3, len_units=0).locked
+    assert not MetaField(epoch=4, len_units=0).locked
+
+
+@given(st.integers(min_value=0, max_value=(1 << 56) - 1),
+       st.integers(min_value=0, max_value=255))
+def test_slot_version_roundtrip(epoch, ver):
+    version = slot_version(epoch, ver)
+    assert split_slot_version(version) == (epoch, ver)
+
+
+def test_slot_version_ordering_across_rollover():
+    """§3.2.2: after ver wraps 255 -> 0 the epoch jumps by 2, keeping the
+    logical version strictly increasing."""
+    before = slot_version(epoch=4, ver=255)
+    after = slot_version(epoch=6, ver=0)
+    assert after > before
+
+
+def test_invalid_version_is_all_ones():
+    assert INVALID_SLOT_VERSION == (1 << 64) - 1
+    epoch, ver = split_slot_version(INVALID_SLOT_VERSION)
+    assert ver == 255
+
+
+# ---------------------------------------------------------------- RACE index
+
+def make_index(wide=True, buckets=16, slots=4):
+    slot = 16 if wide else 8
+    region = MemoryRegion(buckets * slots * slot + 8)
+    return RaceIndex(region, buckets, slots, wide=wide)
+
+
+def test_index_geometry_wide():
+    index = make_index(wide=True, buckets=16, slots=4)
+    assert index.bucket_size == 64
+    assert index.slot_offset(1, 2) == 64 + 32
+    assert index.meta_offset(1, 2) == 64 + 40
+    assert index.version_offset == 16 * 64
+
+
+def test_index_geometry_compact():
+    index = make_index(wide=False)
+    assert index.bucket_size == 32
+    with pytest.raises(ValueError):
+        index.meta_offset(0, 0)
+
+
+def test_index_does_not_fit_region():
+    region = MemoryRegion(64)
+    with pytest.raises(ValueError):
+        RaceIndex(region, 16, 4, wide=True)
+
+
+def test_index_slot_read_write():
+    index = make_index()
+    field = AtomicField(fp=9, ver=3, addr=1234)
+    index.write_atomic(2, 1, field)
+    assert index.read_atomic(2, 1) == field
+    meta = MetaField(epoch=8, len_units=4)
+    index.write_meta(2, 1, meta)
+    assert index.read_meta(2, 1) == meta
+
+
+def test_index_version_tail():
+    index = make_index()
+    index.index_version = 42
+    assert index.index_version == 42
+
+
+def test_locate_slot_inverse():
+    index = make_index()
+    offset = index.slot_offset(5, 3)
+    assert index.locate_slot(offset) == (5, 3)
+    with pytest.raises(IndexError):
+        index.locate_slot(offset + 1)
+
+
+def test_parse_bucket_words():
+    index = make_index()
+    index.write_atomic(0, 2, AtomicField(fp=7, ver=0, addr=99))
+    raw = index.region.read(index.bucket_offset(0), index.bucket_size)
+    words = index.parse_bucket(raw)
+    assert words[2] == AtomicField(fp=7, ver=0, addr=99).pack()
+    assert words[0] == 0
+
+
+def test_match_fingerprint_and_free():
+    index = make_index()
+    key = b"mykey"
+    fp = fingerprint8(key)
+    index.write_atomic(0, 1, AtomicField(fp=fp, ver=0, addr=5))
+    raw = index.region.read(index.bucket_offset(0), index.bucket_size)
+    assert index.match_fingerprint(raw, key) == [1]
+    assert 1 not in index.free_positions(raw)
+    assert 0 in index.free_positions(raw)
+
+
+def test_iter_slots_and_load_factor():
+    index = make_index(buckets=4, slots=4)
+    assert index.load_factor() == 0.0
+    index.write_atomic(0, 0, AtomicField(fp=1, ver=0, addr=1))
+    index.write_atomic(3, 3, AtomicField(fp=2, ver=0, addr=2))
+    found = list(index.iter_slots())
+    assert len(found) == 2
+    assert index.load_factor() == pytest.approx(2 / 16)
+
+
+def test_parse_bucket_size_checked():
+    index = make_index()
+    with pytest.raises(ValueError):
+        index.parse_bucket(b"short")
+
+
+# ---------------------------------------------------------------- cache
+
+def test_cache_hit_miss_counting():
+    cache = IndexCache("addr_value")
+    assert cache.lookup(b"k") is None
+    cache.store(b"k", CacheEntry(atomic_word=1, len_units=1))
+    assert cache.lookup(b"k").atomic_word == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_value_only_retains_write_location():
+    """Both policies keep the slot position (writes CAS directly); the
+    policies differ only on the read-validation path."""
+    cache = IndexCache("value_only")
+    cache.store(b"k", CacheEntry(atomic_word=1, len_units=1, slot_node=3,
+                                 slot_offset=64, bucket=1, slot=2))
+    entry = cache.lookup(b"k")
+    assert entry.slot_node == 3
+    assert entry.slot_offset == 64
+
+
+def test_cache_none_policy_disabled():
+    cache = IndexCache("none")
+    cache.store(b"k", CacheEntry(atomic_word=1, len_units=1))
+    assert cache.lookup(b"k") is None
+    assert not cache.enabled
+
+
+def test_cache_lru_eviction():
+    cache = IndexCache("addr_value", capacity=2)
+    for i in range(3):
+        cache.store(b"k%d" % i, CacheEntry(atomic_word=i, len_units=1))
+    assert cache.lookup(b"k0") is None  # evicted
+    assert cache.lookup(b"k2") is not None
+
+
+def test_cache_lru_touch_on_lookup():
+    cache = IndexCache("addr_value", capacity=2)
+    cache.store(b"a", CacheEntry(atomic_word=1, len_units=1))
+    cache.store(b"b", CacheEntry(atomic_word=2, len_units=1))
+    cache.lookup(b"a")  # refresh a
+    cache.store(b"c", CacheEntry(atomic_word=3, len_units=1))
+    assert cache.lookup(b"a") is not None
+    assert cache.lookup(b"b") is None
+
+
+def test_cache_invalidate():
+    cache = IndexCache("addr_value")
+    cache.store(b"k", CacheEntry(atomic_word=1, len_units=1))
+    cache.invalidate(b"k")
+    assert cache.lookup(b"k") is None
+    cache.invalidate(b"missing")  # no-op
+
+
+def test_cache_unknown_policy():
+    with pytest.raises(ValueError):
+        IndexCache("write_back")

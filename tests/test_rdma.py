@@ -1,0 +1,414 @@
+"""Tests for the RDMA model: verbs, NICs, fabric, RPC."""
+
+import pytest
+
+from repro.config import NICConfig
+from repro.errors import NodeFailedError
+from repro.rdma import (
+    ATOMIC_SIZE,
+    WIRE_HEADER,
+    Fabric,
+    Opcode,
+    RNIC,
+    RpcServer,
+    Verb,
+    rpc_call,
+)
+from repro.sim import Environment, ThroughputServer
+
+
+# ------------------------------------------------------------------ verbs
+
+def test_atomic_verbs_require_8_bytes():
+    with pytest.raises(ValueError):
+        Verb(Opcode.CAS, 16)
+    Verb(Opcode.CAS, ATOMIC_SIZE)  # ok
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        Verb(Opcode.READ, -1)
+
+
+def test_wire_size_includes_header():
+    assert Verb(Opcode.READ, 100).wire_size() == 100 + WIRE_HEADER
+
+
+def test_read_request_is_small():
+    verb = Verb(Opcode.READ, 4096)
+    assert verb.request_size(inline_max=256) == WIRE_HEADER
+    assert verb.response_size() == 4096 + WIRE_HEADER
+
+
+def test_inline_write_skips_source_payload():
+    small = Verb(Opcode.WRITE, 64)
+    big = Verb(Opcode.WRITE, 4096)
+    assert small.request_size(inline_max=256) == WIRE_HEADER
+    assert big.request_size(inline_max=256) == 4096 + WIRE_HEADER
+
+
+def test_write_response_is_ack():
+    assert Verb(Opcode.WRITE, 4096).response_size() == WIRE_HEADER
+
+
+def test_atomic_response_carries_old_value():
+    assert Verb(Opcode.CAS, 8).response_size() == 8 + WIRE_HEADER
+
+
+# ------------------------------------------------------------------ NIC
+
+def _nic(env, node_id=0, **overrides):
+    cfg = NICConfig(**overrides) if overrides else NICConfig()
+    return RNIC(env, cfg, node_id)
+
+
+def test_small_message_iops_bound(env):
+    nic = _nic(env, iops=1e6, bandwidth=1e12)
+    assert nic.service_time(40) == pytest.approx(1e-6)
+
+
+def test_large_message_bandwidth_bound(env):
+    nic = _nic(env, iops=1e12, bandwidth=1e9)
+    assert nic.service_time(1_000_000) == pytest.approx(1e-3)
+
+
+def test_doorbell_batching_amortises_op_cost(env):
+    nic = _nic(env, iops=1e6, bandwidth=1e12)
+    batched = nic.service_time(120, doorbells=1)
+    unbatched = nic.service_time(120, doorbells=3)
+    assert unbatched == pytest.approx(3 * batched)
+
+
+def test_nic_fifo_queueing(env):
+    nic = _nic(env, iops=1e6, bandwidth=1e12)
+    done = []
+
+    def proc():
+        ev1 = nic.submit(40)
+        ev2 = nic.submit(40)
+        yield ev1
+        done.append(env.now)
+        yield ev2
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [pytest.approx(1e-6), pytest.approx(2e-6)]
+
+
+# ------------------------------------------------------------------ fabric
+
+def make_fabric(env, nodes=2, **nic_overrides):
+    fabric = Fabric(env)
+    cfg = NICConfig(**nic_overrides) if nic_overrides else NICConfig()
+    nics = [fabric.register(RNIC(env, cfg, i)) for i in range(nodes)]
+    return fabric, nics
+
+
+def test_fabric_read_executes_side_effect(env):
+    fabric, (a, b) = make_fabric(env)
+
+    def proc():
+        value = yield fabric.read(a, b, 64, execute=lambda: "payload")
+        return (value, env.now)
+
+    p = env.process(proc())
+    env.run()
+    value, when = p.value
+    assert value == "payload"
+    assert when >= a.config.rtt  # at least the propagation delay
+
+
+def test_fabric_duplicate_registration_rejected(env):
+    fabric, (a, b) = make_fabric(env)
+    with pytest.raises(ValueError):
+        fabric.register(RNIC(env, NICConfig(), 0))
+
+
+def test_fabric_post_to_dead_node_fails(env):
+    fabric, (a, b) = make_fabric(env)
+    fabric.kill(1)
+
+    def proc():
+        try:
+            yield fabric.read(a, b, 64)
+        except NodeFailedError as exc:
+            return exc.node_id
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 1
+
+
+def test_fabric_inflight_verbs_lost_on_crash(env):
+    fabric, (a, b) = make_fabric(env)
+
+    def crasher():
+        yield env.timeout(1e-6)
+        fabric.kill(1)
+
+    def proc():
+        try:
+            yield fabric.write(a, b, 10_000_000)  # slow transfer
+        except NodeFailedError:
+            return "lost"
+
+    env.process(crasher())
+    p = env.process(proc())
+    env.run()
+    assert p.value == "lost"
+
+
+def test_fabric_batch_returns_results_in_order(env):
+    fabric, (a, b) = make_fabric(env)
+    verbs = [Verb(Opcode.READ, 8, execute=lambda i=i: i) for i in range(3)]
+
+    def proc():
+        values = yield fabric.post_batch(a, b, verbs)
+        return values
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == [0, 1, 2]
+
+
+def test_fabric_empty_batch_rejected(env):
+    fabric, (a, b) = make_fabric(env)
+    with pytest.raises(ValueError):
+        fabric.post_batch(a, b, [])
+
+
+def test_fabric_cas_serialises_conflicts(env):
+    """Two concurrent CASes on one word: exactly one wins."""
+    fabric, (a, b) = make_fabric(env)
+    word = [0]
+
+    def cas(expected, new):
+        def execute():
+            if word[0] == expected:
+                word[0] = new
+                return True
+            return False
+        return execute
+
+    results = []
+
+    def client(new):
+        ok = yield fabric.cas(a, b, cas(0, new))
+        results.append(ok)
+
+    env.process(client(1))
+    env.process(client(2))
+    env.run()
+    assert sorted(results) == [False, True]
+    assert word[0] in (1, 2)
+
+
+def test_fabric_tracks_traffic_classes(env):
+    fabric, (a, b) = make_fabric(env)
+
+    def proc():
+        yield fabric.write(a, b, 1000, traffic_class="checkpoint")
+
+    env.process(proc())
+    env.run()
+    assert fabric.bytes_by_class["checkpoint"] == 1000 + WIRE_HEADER
+
+
+def test_fabric_execute_exception_fails_event(env):
+    fabric, (a, b) = make_fabric(env)
+
+    def boom():
+        raise IndexError("bad offset")
+
+    def proc():
+        try:
+            yield fabric.read(a, b, 8, execute=boom)
+        except IndexError:
+            return "caught"
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "caught"
+
+
+def test_checkpoint_traffic_delays_client_reads(env):
+    """Bandwidth interference: a bulk transfer inflates read latency on
+    the shared destination NIC (the Fig. 1b effect)."""
+    fabric, nics = make_fabric(env, nodes=3, iops=1e7, bandwidth=1e9)
+    client, mn, other = nics
+
+    def bulk():
+        yield fabric.write(other, mn, 1_000_000, traffic_class="checkpoint")
+
+    def read_after(delay):
+        yield env.timeout(delay)
+        t0 = env.now
+        yield fabric.read(client, mn, 1024)
+        return env.now - t0
+
+    baseline = env.process(read_after(0.0))
+    env.run()
+    quiet_latency = baseline.value
+
+    env2 = Environment()
+    fabric2, nics2 = make_fabric(env2, nodes=3, iops=1e7, bandwidth=1e9)
+    client2, mn2, other2 = nics2
+
+    def bulk2():
+        yield fabric2.write(other2, mn2, 1_000_000)
+
+    def read2():
+        yield env2.timeout(1e-5)  # bulk transfer still in flight
+        t0 = env2.now
+        yield fabric2.read(client2, mn2, 1024)
+        return env2.now - t0
+
+    env2.process(bulk2())
+    p = env2.process(read2())
+    env2.run()
+    assert p.value > quiet_latency * 5
+
+
+# ------------------------------------------------------------------ RPC
+
+def make_rpc_pair(env):
+    fabric, (cli, srv_nic) = make_fabric(env)
+    core = ThroughputServer(env)
+    server = RpcServer(env, fabric, srv_nic, core, handle_time=2e-6)
+    return fabric, cli, server
+
+
+def test_rpc_roundtrip(env):
+    fabric, cli, server = make_rpc_pair(env)
+    server.register("echo", lambda x: x * 2)
+    server.start()
+
+    def proc():
+        value = yield from rpc_call(env, fabric, cli, server, "echo", 21)
+        return value
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 42
+    assert server.requests_served == 1
+
+
+def test_rpc_generator_handler(env):
+    fabric, cli, server = make_rpc_pair(env)
+
+    def handler(x):
+        yield env.timeout(1e-6)
+        return x + 1
+
+    server.register("slow", handler)
+    server.start()
+
+    def proc():
+        value = yield from rpc_call(env, fabric, cli, server, "slow", 1)
+        return value
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 2
+
+
+def test_rpc_unknown_method_raises(env):
+    fabric, cli, server = make_rpc_pair(env)
+    server.start()
+
+    def proc():
+        try:
+            yield from rpc_call(env, fabric, cli, server, "nope")
+        except NodeFailedError:
+            return "error"
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "error"
+
+
+def test_rpc_handler_exception_propagates_to_caller(env):
+    fabric, cli, server = make_rpc_pair(env)
+
+    def bad():
+        raise ValueError("handler blew up")
+
+    server.register("bad", bad)
+    server.start()
+
+    def proc():
+        try:
+            yield from rpc_call(env, fabric, cli, server, "bad")
+        except ValueError as exc:
+            return str(exc)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "handler blew up"
+    # crucially, the serving loop survived:
+    server.register("ok", lambda: 1)
+
+    def proc2():
+        return (yield from rpc_call(env, fabric, cli, server, "ok"))
+
+    p2 = env.process(proc2())
+    env.run()
+    assert p2.value == 1
+
+
+def test_rpc_times_out_on_dead_server(env):
+    fabric, cli, server = make_rpc_pair(env)
+    server.start()
+
+    def killer():
+        yield env.timeout(1e-6)
+        fabric.kill(1)
+
+    def proc():
+        try:
+            yield from rpc_call(env, fabric, cli, server, "anything",
+                                timeout=1e-4)
+        except NodeFailedError:
+            return env.now
+
+    env.process(killer())
+    p = env.process(proc())
+    env.run()
+    assert p.value is not None
+
+
+def test_rpc_duplicate_handler_rejected(env):
+    fabric, cli, server = make_rpc_pair(env)
+    server.register("m", lambda: 1)
+    with pytest.raises(ValueError):
+        server.register("m", lambda: 2)
+
+
+def test_rpc_serves_requests_in_order(env):
+    fabric, cli, server = make_rpc_pair(env)
+    log = []
+    server.register("tag", lambda i: log.append(i))
+    server.start()
+
+    def proc(i):
+        yield from rpc_call(env, fabric, cli, server, "tag", i)
+
+    for i in range(4):
+        env.process(proc(i))
+    env.run()
+    assert log == [0, 1, 2, 3]
+
+
+def test_rpc_occupies_serving_core(env):
+    fabric, cli, server = make_rpc_pair(env)
+    server.register("noop", lambda: None)
+    server.start()
+
+    def proc():
+        for _ in range(5):
+            yield from rpc_call(env, fabric, cli, server, "noop")
+
+    env.process(proc())
+    env.run()
+    assert server.serving_core.busy_time == pytest.approx(5 * 2e-6)

@@ -1,0 +1,322 @@
+"""Failure handling and tiered recovery (§3.4)."""
+
+import pytest
+
+from repro.cluster.master import MnState
+from repro.errors import KeyNotFoundError
+from repro.index.hashing import home_of
+from repro.workloads import WorkloadRunner, load_ops, micro_stream
+from repro.workloads.micro import micro_key
+
+from tests.conftest import make_aceso
+
+
+def loaded_cluster(keys_per_client=120, **overrides):
+    cluster = make_aceso(**overrides)
+    runner = WorkloadRunner(cluster)
+    runner.load([load_ops(c.cli_id, keys_per_client, 180)
+                 for c in cluster.clients])
+    return cluster, runner, keys_per_client
+
+
+def snapshot(cluster, n_keys):
+    reader = cluster.clients[0]
+    out = {}
+    for client in cluster.clients:
+        for i in range(n_keys):
+            key = micro_key(client.cli_id, i)
+            try:
+                out[key] = cluster.run_op(reader.search(key))
+            except KeyNotFoundError:
+                out[key] = None
+    return out
+
+
+def verify(cluster, expected):
+    reader = cluster.clients[0]
+    mismatches = []
+    for key, value in expected.items():
+        try:
+            got = cluster.run_op(reader.search(key))
+        except KeyNotFoundError:
+            got = None
+        if got != value:
+            mismatches.append(key)
+    return mismatches
+
+
+def crash_and_recover(cluster, node_id, limit=120.0):
+    cluster.crash_mn(node_id)
+    done = cluster.master.milestone(node_id, MnState.RECOVERED)
+    cluster.env.run_until_event(done, limit=cluster.env.now + limit)
+    return cluster._recovery.reports[-1]
+
+
+# ---------------------------------------------------------------- MN crash
+
+def test_mn_recovery_preserves_all_data():
+    cluster, runner, n = loaded_cluster()
+    expected = snapshot(cluster, n)
+    crash_and_recover(cluster, 1)
+    assert verify(cluster, expected) == []
+
+
+def test_mn_recovery_after_updates_past_checkpoint():
+    """Slot/index versioning (§3.2.2-3.2.3): updates committed after the
+    last checkpoint survive via the KV-pair replay."""
+    cluster, runner, n = loaded_cluster()
+    # force at least one checkpoint round so there is a base image
+    cluster.run(cluster.env.now + 0.6)
+    c = cluster.clients[0]
+    post_ckpt = {}
+    for i in range(40):
+        key = micro_key(c.cli_id, i)
+        value = b"post-ckpt-%d" % i
+        cluster.run_op(c.update(key, value))
+        post_ckpt[key] = value
+    crash_and_recover(cluster, 2)
+    assert verify(cluster, post_ckpt) == []
+
+
+def test_mn_recovery_is_tiered():
+    cluster, runner, n = loaded_cluster()
+    report = crash_and_recover(cluster, 0)
+    assert report.meta_done_at <= report.index_done_at <= report.blocks_done_at
+    assert report.total_time > 0
+    row = report.row()
+    assert row["total_ms"] > 0
+
+
+def test_writes_resume_after_index_milestone():
+    cluster, runner, n = loaded_cluster()
+    victim = 3
+    cluster.crash_mn(victim)
+    env = cluster.env
+    index_done = cluster.master.milestone(victim, MnState.INDEX_RECOVERED)
+    env.run_until_event(index_done, limit=env.now + 120)
+    # a write whose home is the recovering node commits before full
+    # Block-Area recovery completes
+    client = cluster.clients[0]
+    key = next(b"probe-%d" % i for i in range(1000)
+               if home_of(b"probe-%d" % i, 5) == victim)
+    t0 = env.now
+    cluster.run_op(client.insert(key, b"written-degraded"))
+    assert cluster.run_op(client.search(key)) == b"written-degraded"
+    assert env.now - t0 < 1.0
+
+
+def test_recovered_index_points_to_highest_version():
+    cluster, runner, n = loaded_cluster()
+    c = cluster.clients[0]
+    key = micro_key(c.cli_id, 0)
+    for i in range(20):
+        cluster.run_op(c.update(key, b"version-%02d" % i))
+    home = home_of(key, 5)
+    crash_and_recover(cluster, home)
+    assert cluster.run_op(c.search(key)) == b"version-19"
+
+
+def test_deletes_survive_recovery():
+    """Tombstones carry slot versions; a deleted key must stay deleted."""
+    cluster, runner, n = loaded_cluster()
+    c = cluster.clients[0]
+    dead = [micro_key(c.cli_id, i) for i in range(10)]
+    for key in dead:
+        cluster.run_op(c.delete(key))
+    home_counts = {home_of(k, 5) for k in dead}
+    victim = home_counts.pop()
+    crash_and_recover(cluster, victim)
+    for key in dead:
+        with pytest.raises(KeyNotFoundError):
+            cluster.run_op(c.search(key))
+
+
+def test_recovery_without_checkpoint_image():
+    """If the checkpoint holder died too (or no round ran yet), the index
+    is rebuilt by scanning every block."""
+    cluster, runner, n = loaded_cluster()
+    expected = snapshot(cluster, n)
+    victim = 1
+    # wipe every checkpoint image of the victim before the crash
+    for mn in cluster.mns.values():
+        mn.ckpt_images.pop(victim, None)
+    crash_and_recover(cluster, victim)
+    assert verify(cluster, expected) == []
+
+
+def test_crash_during_traffic_and_degraded_reads():
+    cluster, runner, n = loaded_cluster(blocks_per_mn=128)
+    from repro.cluster.failures import FailureInjector
+    injector = FailureInjector(cluster.env, cluster)
+    injector.schedule_mn_crash(cluster.env.now + 0.02, 4)
+    streams = [micro_stream("SEARCH" if c.cli_id % 2 else "UPDATE",
+                            c.cli_id, n, 180)
+               for c in cluster.clients]
+    result = runner.measure(streams, duration=0.2)
+    assert result.total_ops > 0
+    done = cluster.master.milestone(4, MnState.RECOVERED)
+    if not done.triggered:
+        cluster.env.run_until_event(done, limit=cluster.env.now + 120)
+    expected_keys = [micro_key(c.cli_id, i)
+                     for c in cluster.clients for i in range(n)]
+    reader = cluster.clients[0]
+    for key in expected_keys:
+        cluster.run_op(reader.search(key))  # must not raise
+
+
+def test_two_mn_failures_recover_sealed_data():
+    """X-Code-class stripes tolerate two MN crashes (§3.4.1 remark 2).
+
+    The guarantee covers *sealed* (erasure-coded) data: we load an exact
+    multiple of the block capacity so every block seals, then kill two
+    MNs — including the victim pair that holds each other's meta replica
+    and checkpoint image, exercising both fallback paths.
+    """
+    # 128 keys/client at slot size 256 with 8 KiB blocks = exactly 4
+    # blocks per client, so nothing stays unsealed.
+    cluster, runner, n = loaded_cluster(keys_per_client=128)
+    cluster.run(cluster.env.now + 0.1)  # drain seal + fold + Q forwards
+    expected = snapshot(cluster, n)
+    cluster.crash_mn(1)
+    cluster.crash_mn(2)
+    for victim in (1, 2):
+        done = cluster.master.milestone(victim, MnState.RECOVERED)
+        cluster.env.run_until_event(done, limit=cluster.env.now + 240)
+    mismatches = verify(cluster, expected)
+    assert mismatches == []
+
+
+def test_two_mn_crash_unsealed_window():
+    """Unsealed blocks are protected by their DELTA twin: when the data
+    node and the P-parity node *both* die before sealing, those recent
+    writes can be lost (see DESIGN.md interpretation note 1) — but every
+    sealed KV must still survive."""
+    cluster, runner, n = loaded_cluster(keys_per_client=100)  # partial blocks
+    cluster.run(cluster.env.now + 0.1)
+    cluster.crash_mn(1)
+    cluster.crash_mn(2)
+    for victim in (1, 2):
+        done = cluster.master.milestone(victim, MnState.RECOVERED)
+        cluster.env.run_until_event(done, limit=cluster.env.now + 240)
+    reader = cluster.clients[0]
+    lost = 0
+    for client in cluster.clients:
+        for i in range(n):
+            try:
+                cluster.run_op(reader.search(micro_key(client.cli_id, i)))
+            except KeyNotFoundError:
+                lost += 1
+    # only the unsealed tail (at most one open block per client) may be
+    # affected
+    slots_per_block = cluster.config.cluster.block_size // 256
+    assert lost <= slots_per_block * len(cluster.clients)
+
+
+def test_master_milestones_progress():
+    cluster, runner, n = loaded_cluster()
+    master = cluster.master
+    assert master.mn_state(2) == MnState.ALIVE
+    cluster.crash_mn(2)
+    assert master.mn_state(2) == MnState.FAILED
+    assert not master.mn_writable(2)
+    done = master.milestone(2, MnState.RECOVERED)
+    cluster.env.run_until_event(done, limit=cluster.env.now + 120)
+    assert master.mn_writable(2)
+    assert master.mn_state(2) == MnState.RECOVERED
+    assert master.failure_log
+
+
+def test_checkpointing_resumes_after_recovery():
+    cluster, runner, n = loaded_cluster()
+    crash_and_recover(cluster, 1)
+    before = cluster.servers[1].ckpt_rounds
+    cluster.run(cluster.env.now + 1.2)
+    assert cluster.servers[1].ckpt_rounds > before
+
+
+# ---------------------------------------------------------------- CN crash
+
+def test_cn_crash_restart_preserves_data():
+    cluster, runner, n = loaded_cluster()
+    victim = cluster.clients[1]
+    for i in range(30):
+        cluster.run_op(victim.update(micro_key(victim.cli_id, i), b"CN" * 30))
+    cluster.crash_cn(victim.cn.node_id)
+    new_client, proc = cluster.restart_client(victim)
+    cluster.env.run_until_event(proc, limit=cluster.env.now + 30)
+    reader = cluster.clients[0]
+    for i in range(30):
+        assert cluster.run_op(
+            reader.search(micro_key(victim.cli_id, i))) == b"CN" * 30
+
+
+def test_cn_crash_torn_write_rolled_back():
+    """§3.4.2: a KV written without its delta is detected by the write
+    versions and rolled back, keeping parity folding consistent."""
+    cluster, runner, n = loaded_cluster()
+    victim = cluster.clients[1]
+    # Manufacture a torn state: write KV bytes directly into the open
+    # block without the delta (as if the client died between the writes).
+    block = victim.blocks.open_block(
+        ((cluster.config.cluster.kv_size + 63) // 64) * 64)
+    assert block is not None
+    slot = block.take_slot()
+    from repro.core.kvpair import encode_kv
+    kv_addr = block.kv_address(slot)
+    torn = encode_kv(b"torn-key", b"torn-value", 99,
+                     block.size_class.slot_size)
+    cluster.mns[kv_addr.node_id].write_bytes(kv_addr.offset, torn)
+    cluster.crash_cn(victim.cn.node_id)
+    new_client, proc = cluster.restart_client(victim)
+    cluster.env.run_until_event(proc, limit=cluster.env.now + 30)
+    # the torn KV slot was zeroed (never committed to the index anyway)
+    raw = cluster.mns[kv_addr.node_id].read_bytes(
+        kv_addr.offset, block.size_class.slot_size)
+    assert raw == bytes(block.size_class.slot_size)
+
+
+def test_cn_recovery_seals_unfilled_blocks():
+    cluster, runner, n = loaded_cluster()
+    victim = cluster.clients[1]
+    open_blocks = [b.grant for b in victim.blocks.all_open()]
+    assert open_blocks
+    cluster.crash_cn(victim.cn.node_id)
+    new_client, proc = cluster.restart_client(victim)
+    cluster.env.run_until_event(proc, limit=cluster.env.now + 30)
+    cluster.run(cluster.env.now + 0.05)
+    for grant in open_blocks:
+        meta = cluster.mns[grant.data_node].blocks.meta[grant.data_block]
+        assert meta.index_version != 0  # sealed by recovery
+
+
+def test_mixed_crash_cn_then_mn():
+    """§3.4.3: clients restart first, then MN recovery proceeds."""
+    cluster, runner, n = loaded_cluster()
+    expected = snapshot(cluster, n)
+    victim_client = cluster.clients[1]
+    cluster.crash_cn(victim_client.cn.node_id)
+    new_client, proc = cluster.restart_client(victim_client)
+    cluster.env.run_until_event(proc, limit=cluster.env.now + 30)
+    crash_and_recover(cluster, 2)
+    assert verify(cluster, expected) == []
+
+
+def test_parallel_recovery_workers_preserve_data():
+    """Extension (paper's future work): recovery distributed over CN
+    workers reconstructs exactly the same state as the single driver."""
+    from repro import aceso_config
+    from repro.core.store import AcesoCluster
+    from tests.conftest import small_cluster_kwargs
+
+    cfg = aceso_config(**small_cluster_kwargs())
+    cfg.coding.recovery_workers = 3
+    cluster = AcesoCluster(cfg)
+    cluster.start()
+    runner = WorkloadRunner(cluster)
+    n = 128  # exact block multiples: everything seals
+    runner.load([load_ops(c.cli_id, n, 180) for c in cluster.clients])
+    cluster.run(cluster.env.now + 0.1)
+    expected = snapshot(cluster, n)
+    report = crash_and_recover(cluster, 1)
+    assert verify(cluster, expected) == []
+    assert report.total_time > 0

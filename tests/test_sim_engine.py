@@ -1,0 +1,387 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_time_starts_at_zero(env):
+    assert env.now == 0.0
+
+
+def test_timeout_advances_time(env):
+    log = []
+
+    def proc():
+        yield env.timeout(1.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [1.5]
+
+
+def test_timeout_value(env):
+    def proc():
+        value = yield env.timeout(0.1, value="hello")
+        return value
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "hello"
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate(env):
+    def proc():
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 3.0
+
+
+def test_processes_interleave_by_time(env):
+    log = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        log.append(name)
+
+    env.process(proc("late", 2.0))
+    env.process(proc("early", 1.0))
+    env.run()
+    assert log == ["early", "late"]
+
+
+def test_same_time_fifo_order(env):
+    log = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        log.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(name))
+    env.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_return_value(env):
+    def proc():
+        yield env.timeout(0.0)
+        return 42
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 42
+
+
+def test_process_is_event(env):
+    def inner():
+        yield env.timeout(1.0)
+        return "inner-result"
+
+    def outer():
+        result = yield env.process(inner())
+        return result
+
+    p = env.process(outer())
+    env.run()
+    assert p.value == "inner-result"
+
+
+def test_run_until(env):
+    log = []
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_advances_time_past_drain(env):
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_event_succeed_wakes_waiter(env):
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(2.0)
+        gate.succeed("opened")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(2.0, "opened")]
+
+
+def test_event_double_trigger_rejected(env):
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_process(env):
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(waiter())
+    gate.fail(ValueError("boom"))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_fail_requires_exception(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_uncaught_failure_recorded(env):
+    def proc():
+        yield env.timeout(0.1)
+        raise RuntimeError("oops")
+
+    env.process(proc())
+    env.run()
+    assert len(env.unexpected_failures()) == 1
+
+
+def test_yield_non_event_fails_process(env):
+    def proc():
+        yield 42
+
+    env.process(proc())
+    env.run()
+    failures = env.unexpected_failures()
+    assert len(failures) == 1
+    assert isinstance(failures[0].value, SimulationError)
+
+
+def test_all_of_collects_values(env):
+    def proc():
+        values = yield env.all_of([env.timeout(1.0, "a"),
+                                   env.timeout(2.0, "b")])
+        return (env.now, values)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (2.0, ["a", "b"])
+
+
+def test_all_of_empty(env):
+    def proc():
+        values = yield env.all_of([])
+        return values
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == []
+
+
+def test_all_of_fails_fast(env):
+    bad = env.event()
+
+    def proc():
+        try:
+            yield env.all_of([env.timeout(5.0), bad])
+        except ValueError:
+            return env.now
+
+    p = env.process(proc())
+    bad.fail(ValueError("x"))
+    env.run()
+    assert p.value == 0.0  # did not wait for the 5s timeout
+
+
+def test_any_of_returns_first(env):
+    def proc():
+        index, value = yield env.any_of([env.timeout(5.0, "slow"),
+                                         env.timeout(1.0, "fast")])
+        return (index, value, env.now)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (1, "fast", 1.0)
+
+
+def test_any_of_empty_rejected(env):
+    with pytest.raises(SimulationError):
+        env.any_of([])
+
+
+def test_interrupt_terminates_waiting_process(env):
+    def proc():
+        yield env.timeout(100.0)
+
+    p = env.process(proc())
+    env.run(until=1.0)
+    p.interrupt("killed")
+    env.run(until=2.0)
+    assert not p.is_alive
+    assert isinstance(p.value, Interrupt)
+
+
+def test_interrupt_is_catchable(env):
+    def proc():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            return f"interrupted: {exc.cause}"
+
+    p = env.process(proc())
+    env.run(until=1.0)
+    p.interrupt("node crash")
+    env.run(until=2.0)
+    assert p.value == "interrupted: node crash"
+
+
+def test_interrupted_process_not_unexpected_failure(env):
+    def proc():
+        yield env.timeout(100.0)
+
+    p = env.process(proc())
+    env.run(until=1.0)
+    p.interrupt()
+    env.run(until=2.0)
+    assert env.unexpected_failures() == []
+    assert p in env.failed
+
+
+def test_interrupt_after_completion_is_noop(env):
+    def proc():
+        yield env.timeout(1.0)
+        return "done"
+
+    p = env.process(proc())
+    env.run()
+    p.interrupt()
+    env.run()
+    assert p.value == "done"
+
+
+def test_stale_wakeup_after_interrupt_ignored(env):
+    """The event a process was waiting on triggers after interruption;
+    the process must not be resumed twice."""
+    gate = env.event()
+
+    def proc():
+        try:
+            yield gate
+        except Interrupt:
+            yield env.timeout(5.0)
+            return "recovered"
+
+    p = env.process(proc())
+    env.run(until=1.0)
+    p.interrupt()
+    gate.succeed("late")
+    env.run()
+    assert p.value == "recovered"
+
+
+def test_run_until_event(env):
+    def proc():
+        yield env.timeout(3.0)
+        return "x"
+
+    p = env.process(proc())
+    assert env.run_until_event(p) == "x"
+    assert env.now == 3.0
+
+
+def test_run_until_event_failure_raises(env):
+    def proc():
+        yield env.timeout(1.0)
+        raise KeyError("nope")
+
+    p = env.process(proc())
+    with pytest.raises(KeyError):
+        env.run_until_event(p)
+
+
+def test_run_until_event_time_limit(env):
+    def proc():
+        yield env.timeout(100.0)
+
+    p = env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run_until_event(p, limit=1.0)
+
+
+def test_run_until_event_drained_queue(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run_until_event(ev)
+
+
+def test_callback_after_trigger_runs_immediately(env):
+    ev = env.event()
+    ev.succeed("v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_value_of_untriggered_event_rejected(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_nested_all_any(env):
+    def proc():
+        inner = env.all_of([env.timeout(1.0, 1), env.timeout(2.0, 2)])
+        index, value = yield env.any_of([inner, env.timeout(10.0)])
+        return (index, value, env.now)
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (0, [1, 2], 2.0)
+
+
+def test_many_processes_scale(env):
+    counter = []
+
+    def proc(i):
+        yield env.timeout(i * 0.001)
+        counter.append(i)
+
+    for i in range(500):
+        env.process(proc(i))
+    env.run()
+    assert len(counter) == 500
+    assert counter == sorted(counter)

@@ -1,0 +1,104 @@
+"""Tests for the real-trace replay loader."""
+
+import io
+
+import pytest
+
+from repro.workloads import WorkloadRunner
+from repro.workloads.traces import (
+    OP_MAPPING,
+    parse_trace_line,
+    replay_trace,
+    trace_stream,
+)
+
+from tests.conftest import make_aceso
+
+SAMPLE = """\
+100,keyA,4,120,7,get,0
+101,keyB,4,200,7,set,0
+102,keyC,4,90,8,add,0
+103,keyA,4,0,7,delete,0
+garbage line
+104,keyD,4,notanint,9,set,0
+105,keyE,4,50,9,incr,0
+"""
+
+
+def test_parse_get():
+    assert parse_trace_line("1,abc,3,10,0,get,0") == ("SEARCH", b"abc", b"")
+
+
+def test_parse_set_sizes_value():
+    verb, key, value = parse_trace_line("1,abc,3,128,0,set,0")
+    assert verb == "UPDATE"
+    assert len(value) == 128
+
+
+def test_parse_value_capped():
+    _v, _k, value = parse_trace_line("1,k,1,999999,0,set,0", max_value=256)
+    assert len(value) == 256
+
+
+def test_parse_delete_and_add():
+    assert parse_trace_line("1,k,1,0,0,delete,0")[0] == "DELETE"
+    assert parse_trace_line("1,k,1,64,0,add,0")[0] == "INSERT"
+
+
+def test_parse_malformed_returns_none():
+    assert parse_trace_line("garbage") is None
+    assert parse_trace_line("1,k,1,64,0,flush_all,0") is None
+    assert parse_trace_line("1,,1,64,0,get,0") is None
+
+
+def test_parse_bad_size_defaults():
+    _v, _k, value = parse_trace_line("1,k,1,notanint,0,set,0")
+    assert len(value) == 64
+
+
+def test_all_mapped_ops_are_core_verbs():
+    assert set(OP_MAPPING.values()) <= {"SEARCH", "UPDATE", "INSERT",
+                                        "DELETE"}
+
+
+def test_replay_trace_skips_garbage():
+    ops = list(replay_trace(io.StringIO(SAMPLE)))
+    assert len(ops) == 6  # 7 lines, one garbage
+    assert ops[0] == ("SEARCH", b"keyA", b"")
+    assert ops[3][0] == "DELETE"
+
+
+def test_replay_trace_limit():
+    ops = list(replay_trace(io.StringIO(SAMPLE), limit=2))
+    assert len(ops) == 2
+
+
+def test_trace_stream_shards_round_robin():
+    ops = list(replay_trace(io.StringIO(SAMPLE)))
+    shard0 = list(trace_stream(ops, 0, 2, loop=False))
+    shard1 = list(trace_stream(ops, 1, 2, loop=False))
+    assert len(shard0) + len(shard1) == len(ops)
+    assert shard0 == ops[0::2]
+    assert shard1 == ops[1::2]
+
+
+def test_trace_stream_validates_shard():
+    with pytest.raises(ValueError):
+        next(trace_stream([], 2, 2))
+
+
+def test_trace_replays_against_cluster():
+    """End-to-end: a small synthetic trace drives a live cluster."""
+    lines = ["%d,tkey%03d,6,100,0,add,0" % (i, i) for i in range(30)]
+    lines += ["%d,tkey%03d,6,100,0,set,0" % (100 + i, i) for i in range(30)]
+    lines += ["%d,tkey%03d,6,0,0,get,0" % (200 + i, i) for i in range(30)]
+    trace = io.StringIO("\n".join(lines))
+    ops = list(replay_trace(trace))
+    cluster = make_aceso()
+    runner = WorkloadRunner(cluster)
+    shards = [list(trace_stream(ops, c.cli_id, len(cluster.clients),
+                                loop=False))
+              for c in cluster.clients]
+    runner.load(shards)  # run the whole trace to completion
+    value = cluster.run_op(cluster.clients[0].search(b"tkey005"))
+    assert len(value) == 100
