@@ -162,7 +162,7 @@ class FuseeClient(AcesoClient):
 
     # -- write path ----------------------------------------------------------------
 
-    def _write(self, key: bytes, value: bytes, op: str):
+    def _write_inner(self, key: bytes, value: bytes, op: str, sp):
         t0 = self.env.now
         home = self._home(key)
         cas_count = 0
@@ -218,6 +218,7 @@ class FuseeClient(AcesoClient):
                 ))
                 self.stats.record_op(op, self.env.now - t0, cas=cas_count,
                                      retries=retries)
+                sp.set(retries=retries, cas=cas_count)
                 return
             # Loser: our replicated KV slots become garbage we can reuse.
             self.stats.bump("commit_conflicts")
@@ -353,13 +354,14 @@ class FuseeClient(AcesoClient):
 class FuseeCluster(ClusterBase):
     """The FUSEE baseline system."""
 
-    def __init__(self, config: Optional[SystemConfig] = None, env=None):
+    def __init__(self, config: Optional[SystemConfig] = None, env=None,
+                 obs=None):
         if config is None:
             config = fusee_config()
         if config.ft.kv_scheme != "replication" \
                 or config.ft.index_mode != "replication":
             raise ConfigError("FuseeCluster requires replication modes")
-        super().__init__(config, env)
+        super().__init__(config, env, obs)
         self.servers: Dict[int, FuseeServer] = {}
         for i, mn in self.mns.items():
             self.servers[i] = FuseeServer(self.env, self.fabric, mn, config)
@@ -371,7 +373,7 @@ class FuseeCluster(ClusterBase):
             for _slot in range(config.cluster.clients_per_cn):
                 client = FuseeClient(self.env, self.fabric, config, cli_id,
                                      cn, self.mns, self.servers, self.master,
-                                     None, None, self.stats)
+                                     None, None, self.stats, obs=self.obs)
                 self.clients.append(client)
                 cli_id += 1
 
@@ -385,6 +387,7 @@ class FuseeCluster(ClusterBase):
             client.start_background()
 
     def crash_mn(self, node_id: int) -> None:
+        self._mark_fault("mn", node_id)
         self.servers[node_id].stop()
         self.mns[node_id].crash()
         self.master.report_mn_failure(node_id)

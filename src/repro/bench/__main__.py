@@ -7,6 +7,7 @@ import sys
 import time
 
 from . import REGISTRY, SCALES, run_figure
+from .common import drain_trace_bundles, set_tracing
 
 
 def main(argv=None) -> int:
@@ -20,6 +21,16 @@ def main(argv=None) -> int:
                              "'list'")
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
                         help="benchmark geometry tier (default: smoke)")
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_<figure>.json outputs "
+                             "(default: current directory)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing BENCH_<figure>.json files")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable simulation tracing: print the "
+                             "utilization/timeline report and export "
+                             "TRACE_<figure>_<n>.json (Chrome-trace "
+                             "format) per cluster built")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -28,12 +39,27 @@ def main(argv=None) -> int:
             print(f"  {name}")
         return 0
 
+    set_tracing(args.trace)
     targets = sorted(REGISTRY) if args.target == "all" else [args.target]
     for name in targets:
         start = time.perf_counter()
         result = run_figure(name, scale=args.scale)
         elapsed = time.perf_counter() - start
         print(result.render())
+        if not args.no_json:
+            path = result.write_json(args.json_dir)
+            print(f"[wrote {path}]")
+        if args.trace:
+            from ..obs.export import render_report, write_chrome_trace
+            import os
+            for i, obs in enumerate(drain_trace_bundles()):
+                print()
+                print(f"--- trace report: {name} cluster #{i} ---")
+                print(render_report(obs))
+                trace_path = os.path.join(args.json_dir,
+                                          f"TRACE_{name}_{i}.json")
+                write_chrome_trace(obs, trace_path)
+                print(f"[wrote {trace_path}]")
         print(f"[{name}: {elapsed:.1f}s wall at scale={args.scale}]")
         print()
     return 0

@@ -56,6 +56,11 @@ def run_ablation_parallel_recovery(scale: Scale) -> FigureResult:
                    index_ms=report.index_time * 1e3,
                    block_ms=report.block_time * 1e3,
                    total_ms=report.total_time * 1e3)
+    block = result.series("block_ms")
+    result.add_verdict("worker fan-out shortens block recovery",
+                       block[-1] < block[0],
+                       f"{block[0]:.1f} -> {block[-1]:.1f} ms (1 -> 4 "
+                       "workers)")
     return result
 
 
@@ -83,6 +88,10 @@ def run_ablation_pipeline(scale: Scale) -> FigureResult:
                    lblock_ms=report.recover_lblock_s * 1e3,
                    old_ms=report.recover_old_s * 1e3,
                    total_ms=report.total_time * 1e3)
+    on = result.lookup(pipeline=True)["total_ms"]
+    off = result.lookup(pipeline=False)["total_ms"]
+    result.add_verdict("pipelining shortens recovery", on < off,
+                       f"{off:.1f} -> {on:.1f} ms")
     return result
 
 
@@ -107,6 +116,10 @@ def run_ablation_compression(scale: Scale) -> FigureResult:
         result.add(compression=compression,
                    ckpt_bytes_per_round=shipped // rounds,
                    search_mops=res.throughput("SEARCH") / 1e6)
+    zl = result.lookup(compression="zlib")["ckpt_bytes_per_round"]
+    raw = result.lookup(compression="none")["ckpt_bytes_per_round"]
+    result.add_verdict("compression shrinks checkpoint traffic",
+                       zl < raw * 0.5, f"{raw} -> {zl} B/round")
     return result
 
 
@@ -133,4 +146,11 @@ def run_ablation_codec_writes(scale: Scale) -> FigureResult:
                    for mn in cluster.mns.values()) / len(cluster.mns)
         result.add(codec=codec, update_mops=res.throughput("UPDATE") / 1e6,
                    ec_core_util=util)
+    xor = result.lookup(codec="xor")
+    rs = result.lookup(codec="rs")
+    close = (min(xor["update_mops"], rs["update_mops"])
+             / max(xor["update_mops"], rs["update_mops"])
+             if max(xor["update_mops"], rs["update_mops"]) else 0.0)
+    result.add_verdict("codec choice off the write critical path",
+                       close > 0.9, f"xor/rs tpt ratio={close:.2f}")
     return result

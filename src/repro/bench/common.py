@@ -16,6 +16,9 @@ reproduction target, and each runner documents the expected shape.
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
@@ -32,9 +35,29 @@ from ..workloads import (
 )
 
 __all__ = ["FigureResult", "Scale", "SCALES", "build_cluster",
-           "micro_throughput", "run_mix", "format_table"]
+           "micro_throughput", "run_mix", "format_table",
+           "set_tracing", "drain_trace_bundles"]
 
 OPS = ("INSERT", "UPDATE", "SEARCH", "DELETE")
+
+#: Opt-in tracing for benchmark runs (``--trace``): when enabled, every
+#: cluster built without an explicit ``obs`` gets a fresh enabled bundle,
+#: collected here for the harness to report/export after the run.
+_TRACE_ENABLED = False
+_TRACE_BUNDLES: List = []
+
+
+def set_tracing(enabled: bool) -> None:
+    global _TRACE_ENABLED
+    _TRACE_ENABLED = enabled
+
+
+def drain_trace_bundles() -> List:
+    """Observability bundles created since the last drain (one per
+    cluster built under ``set_tracing(True)``)."""
+    bundles = list(_TRACE_BUNDLES)
+    _TRACE_BUNDLES.clear()
+    return bundles
 
 
 @dataclass
@@ -88,9 +111,16 @@ class FigureResult:
     columns: List[str]
     rows: List[Dict] = field(default_factory=list)
     notes: str = ""
+    #: Headline shape checks: [{"check", "ok", "detail"}, ...].
+    verdicts: List[Dict] = field(default_factory=list)
 
     def add(self, **row) -> None:
         self.rows.append(row)
+
+    def add_verdict(self, check: str, ok: bool, detail: str = "") -> None:
+        """Record whether one expected headline shape held in this run."""
+        self.verdicts.append({"check": check, "ok": bool(ok),
+                              "detail": detail})
 
     def series(self, key: str, where: Optional[Dict] = None) -> List:
         out = []
@@ -107,8 +137,46 @@ class FigureResult:
         raise KeyError(f"no row matching {where} in {self.figure}")
 
     def render(self) -> str:
+        notes = self.notes
+        if self.verdicts:
+            lines = [
+                f"[{'PASS' if v['ok'] else 'FAIL'}] {v['check']}"
+                + (f" — {v['detail']}" if v["detail"] else "")
+                for v in self.verdicts
+            ]
+            notes = (notes + "\n" if notes else "") + "\n".join(lines)
         return format_table(self.figure + " — " + self.title,
-                            self.columns, self.rows, self.notes)
+                            self.columns, self.rows, notes)
+
+    def to_json_dict(self) -> Dict:
+        """Machine-readable form of this figure's results."""
+
+        def scrub(value):
+            # NaN/inf are not valid JSON; null keeps consumers honest.
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{k: scrub(v) for k, v in row.items()}
+                     for row in self.rows],
+            "notes": self.notes,
+            "verdicts": list(self.verdicts),
+            "shape_ok": all(v["ok"] for v in self.verdicts)
+            if self.verdicts else None,
+        }
+
+    def write_json(self, directory: str = ".") -> str:
+        """Write ``BENCH_<figure>.json`` into *directory*; returns the
+        path."""
+        path = os.path.join(directory, f"BENCH_{self.figure}.json")
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+        return path
 
 
 def format_table(title: str, columns: Sequence[str],
@@ -140,12 +208,14 @@ def format_table(title: str, columns: Sequence[str],
 # ----------------------------------------------------------------------
 
 def build_cluster(system: str, scale: Scale, *, replication_factor: int = 3,
-                  mutate: Optional[Callable[[SystemConfig], None]] = None):
+                  mutate: Optional[Callable[[SystemConfig], None]] = None,
+                  obs=None):
     """Build and start one system under test.
 
     ``system``: "aceso", "fusee", or a factor step ("origin", "+slot",
     "+ckpt", "+cache").  ``mutate`` may adjust the config (checkpoint
-    interval, codec, ...) before construction.
+    interval, codec, ...) before construction.  ``obs`` opts the cluster
+    into an :class:`~repro.obs.Observability` bundle (``--trace`` runs).
     """
     kwargs = scale.cluster_kwargs()
     if system == "aceso":
@@ -157,10 +227,14 @@ def build_cluster(system: str, scale: Scale, *, replication_factor: int = 3,
     if mutate is not None:
         mutate(cfg)
         cfg.validate()
+    if obs is None and _TRACE_ENABLED:
+        from ..obs import Observability
+        obs = Observability(enabled=True)
+        _TRACE_BUNDLES.append(obs)
     if cfg.ft.index_mode == "replication":
-        cluster = FuseeCluster(cfg)
+        cluster = FuseeCluster(cfg, obs=obs)
     else:
-        cluster = AcesoCluster(cfg)
+        cluster = AcesoCluster(cfg, obs=obs)
     cluster.start()
     return cluster
 

@@ -61,4 +61,8 @@ def run_fig20(scale: Scale) -> FigureResult:
                    update_mops=update.throughput("UPDATE") / 1e6,
                    index_ms=report.index_time * 1e3,
                    total_ms=report.total_time * 1e3)
+    mops = result.series("update_mops")
+    result.add_verdict("UPDATE throughput rises with block size",
+                       mops[-1] > mops[0],
+                       f"{mops[0]:.3f} -> {mops[-1]:.3f} Mops")
     return result

@@ -47,6 +47,15 @@ def run_fig17(scale: Scale) -> FigureResult:
             res = micro_throughput(cluster, scale, op, runner=runner)
             result.add(interval=label, op=op,
                        mops=res.throughput(op) / 1e6)
+    spreads = {}
+    for op in ("UPDATE", "SEARCH"):
+        series = result.series("mops", where={"op": op})
+        spreads[op] = min(series) / max(series) if max(series) else 0.0
+    result.add_verdict(
+        "checkpoint interval barely moves throughput",
+        all(s > 0.7 for s in spreads.values()),
+        ", ".join(f"{op} min/max={s:.2f}" for op, s in spreads.items()),
+    )
     return result
 
 
@@ -107,4 +116,12 @@ def run_fig19(scale: Scale) -> FigureResult:
                    decompress_ms=timings.decompress * 1e3,
                    xor_ms=timings.apply_xor * 1e3)
         del snapshot1, snapshot2, arr
+    small = all(row["delta_mb"] < 0.5 * row["index_mb"]
+                for row in result.rows)
+    result.add_verdict("compressed delta is a fraction of the index", small,
+                       f"worst ratio={max(r['delta_mb'] / r['index_mb'] for r in result.rows):.2f}")
+    compress = result.series("compress_ms")
+    result.add_verdict("step times scale with index size",
+                       compress[-1] > compress[0],
+                       f"compress {compress[0]:.2f} -> {compress[-1]:.2f} ms")
     return result

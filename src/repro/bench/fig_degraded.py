@@ -136,4 +136,11 @@ def run_fig14(scale: Scale) -> FigureResult:
     )
     _degraded_search(scale, result)
     _reclaimed_update(scale, result)
+    deg = result.lookup(experiment="degraded_search", mode="degraded")["ratio"]
+    result.add_verdict("degraded SEARCH slower but alive",
+                       0.0 < deg < 0.95, f"ratio={deg:.2f} (paper 0.53)")
+    rec = result.lookup(experiment="reclaimed_update",
+                        mode="reclaimed")["ratio"]
+    result.add_verdict("reclaimed UPDATE near normal", rec > 0.7,
+                       f"ratio={rec:.2f} (paper 0.97)")
     return result

@@ -39,4 +39,12 @@ def run_fig13(scale: Scale) -> FigureResult:
         for op in OPS:
             res = micro_throughput(cluster, scale, op, runner=runner)
             result.add(step=step, op=op, mops=res.throughput(op) / 1e6)
+    ckpt_w = result.lookup(step="+ckpt", op="UPDATE")["mops"]
+    slot_w = result.lookup(step="+slot", op="UPDATE")["mops"]
+    result.add_verdict("+ckpt boosts writes over +slot", ckpt_w > slot_w,
+                       f"UPDATE {slot_w:.3f} -> {ckpt_w:.3f} Mops")
+    cache_r = result.lookup(step="+cache", op="SEARCH")["mops"]
+    ckpt_r = result.lookup(step="+ckpt", op="SEARCH")["mops"]
+    result.add_verdict("+cache recovers reads", cache_r > ckpt_r,
+                       f"SEARCH {ckpt_r:.3f} -> {cache_r:.3f} Mops")
     return result

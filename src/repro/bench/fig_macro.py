@@ -46,6 +46,13 @@ def run_fig10(scale: Scale) -> FigureResult:
                 base = mops
             result.add(workload=workload, system=system, mops=mops,
                        vs_fusee=mops / base if base else 0.0)
+    gains = {w: result.lookup(workload=w, system="aceso")["vs_fusee"]
+             for w in YCSB_WORKLOADS}
+    result.add_verdict(
+        "aceso ahead on every YCSB workload",
+        all(g > 1.0 for g in gains.values()),
+        ", ".join(f"{w}={g:.2f}x" for w, g in gains.items()),
+    )
     return result
 
 
@@ -67,6 +74,13 @@ def run_fig11(scale: Scale) -> FigureResult:
                 base = mops
             result.add(trace=trace, system=system, mops=mops,
                        vs_fusee=mops / base if base else 0.0)
+    gains = {t: result.lookup(trace=t, system="aceso")["vs_fusee"]
+             for t in TWITTER_TRACES}
+    result.add_verdict(
+        "aceso ahead on every Twitter trace",
+        all(g > 1.0 for g in gains.values()),
+        ", ".join(f"{t}={g:.2f}x" for t, g in gains.items()),
+    )
     return result
 
 
@@ -93,4 +107,11 @@ def run_fig15(scale: Scale) -> FigureResult:
             )
             result.add(update_ratio=ratio, system=system,
                        mops=res.total_ops / res.duration / 1e6)
+    ahead = [
+        result.lookup(update_ratio=r, system="aceso")["mops"]
+        >= result.lookup(update_ratio=r, system="fusee")["mops"]
+        for r in UPDATE_RATIOS
+    ]
+    result.add_verdict("aceso at/above fusee at every ratio", all(ahead),
+                       f"per-ratio={ahead}")
     return result

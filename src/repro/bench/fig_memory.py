@@ -55,4 +55,6 @@ def run_fig12(scale: Scale) -> FigureResult:
                    total=dist.total / mib)
     saving = 1.0 - totals["aceso"] / totals["fusee"]
     result.notes += f"  Measured saving: {saving:.1%}."
+    result.add_verdict("aceso uses less memory than fusee", saving > 0.2,
+                       f"saving={saving:.1%} (paper 44%)")
     return result

@@ -52,6 +52,19 @@ def run_micro_comparison(scale: Scale) -> Tuple[FigureResult, FigureResult]:
             base = throughput[("fusee", op)]
             tpt.add(system=system, op=op, mops=mops,
                     vs_fusee=throughput[(system, op)] / base if base else 0.0)
+    write_gains = [tpt.lookup(system="aceso", op=op)["vs_fusee"]
+                   for op in ("INSERT", "UPDATE", "DELETE")]
+    tpt.add_verdict(
+        "aceso wins all writes", all(g > 1.0 for g in write_gains),
+        f"vs_fusee={['%.2f' % g for g in write_gains]}",
+    )
+    p99_cut = [
+        lat.lookup(system="aceso", op=op)["p99_us"]
+        < lat.lookup(system="fusee", op=op)["p99_us"]
+        for op in ("INSERT", "UPDATE", "DELETE")
+    ]
+    lat.add_verdict("aceso cuts write P99", all(p99_cut),
+                    f"per-op={p99_cut}")
     return tpt, lat
 
 

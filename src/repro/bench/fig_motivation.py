@@ -48,6 +48,16 @@ def run_fig1a(scale: Scale) -> FigureResult:
             result.add(replicas=replicas, op=op,
                        mops=res.throughput(op) / 1e6,
                        mean_cas=res.mean_cas(op))
+    degrade = [
+        result.lookup(replicas=3, op=op)["mops"]
+        < result.lookup(replicas=1, op=op)["mops"]
+        for op in ("INSERT", "UPDATE", "DELETE")
+    ]
+    result.add_verdict("writes degrade 1 -> 3 replicas", all(degrade),
+                       f"per-op={degrade}")
+    search_cas = result.lookup(replicas=3, op="SEARCH")["mean_cas"]
+    result.add_verdict("SEARCH issues no CAS", search_cas == 0.0,
+                       f"mean_cas={search_cas}")
     return result
 
 
@@ -77,4 +87,14 @@ def run_fig1b(scale: Scale) -> FigureResult:
             res = micro_throughput(cluster, scale, op, runner=runner)
             result.add(ckpt_mb=size_mb, op=op,
                        mops=res.throughput(op) / 1e6)
+    biggest = CKPT_SIZES_MB[-1]
+    falls = [
+        result.lookup(ckpt_mb=biggest, op=op)["mops"]
+        < result.lookup(ckpt_mb=0, op=op)["mops"]
+        for op in OPS
+    ]
+    result.add_verdict(
+        f"throughput falls by {biggest} MB checkpoints", all(falls),
+        f"per-op={falls}",
+    )
     return result

@@ -95,6 +95,18 @@ def run_tab02(scale: Scale) -> FigureResult:
         row["codec"] = codec
         row["test_gbps"] = encode_throughput(codec, block_mb=2)
         result.add(**row)
+    xor = result.lookup(codec="xor")
+    rs = result.lookup(codec="rs")
+    result.add_verdict(
+        "XOR encodes faster than RS",
+        xor["test_gbps"] > rs["test_gbps"],
+        f"{xor['test_gbps']:.2f} vs {rs['test_gbps']:.2f} GB/s",
+    )
+    result.add_verdict(
+        "XOR recovers no slower than RS",
+        xor["total_ms"] <= rs["total_ms"] * 1.05,
+        f"{xor['total_ms']:.1f} vs {rs['total_ms']:.1f} ms",
+    )
     return result
 
 
@@ -118,6 +130,10 @@ def run_fig16(scale: Scale) -> FigureResult:
                    index_ms=report.index_time * 1e3,
                    block_ms=report.block_time * 1e3,
                    total_ms=report.total_time * 1e3)
+    block = result.series("block_ms")
+    result.add_verdict("Block-Area time grows with lost size",
+                       block[-1] > block[0],
+                       f"{block[0]:.1f} -> {block[-1]:.1f} ms")
     return result
 
 
@@ -161,4 +177,8 @@ def run_fig18(scale: Scale) -> FigureResult:
                    index_ms=report.index_time * 1e3,
                    block_ms=report.block_time * 1e3,
                    total_ms=report.total_time * 1e3)
+    index = result.series("index_ms")
+    result.add_verdict("Index-Area time grows with the interval",
+                       index[-1] > index[0],
+                       f"{index[0]:.2f} -> {index[-1]:.2f} ms")
     return result

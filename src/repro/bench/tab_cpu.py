@@ -47,4 +47,8 @@ def run_tab03(scale: Scale) -> FigureResult:
             totals[name] += value
     for name in ("rpc", "ec", "ckpt_send", "ckpt_recv"):
         result.add(core=name, utilisation=totals[name] / num_mns)
+    utils = result.series("utilisation")
+    result.add_verdict("every MN core below 50%",
+                       all(u < 0.5 for u in utils),
+                       f"max={max(utils):.1%}")
     return result

@@ -58,6 +58,13 @@ class CheckpointDelta:
     def compressed_size(self) -> int:
         return len(self.compressed)
 
+    @property
+    def compression_ratio(self) -> float:
+        """raw/compressed; 1.0 for an empty (zero-size) delta."""
+        if self.compressed_size == 0:
+            return 1.0
+        return self.raw_size / self.compressed_size
+
 
 @dataclass
 class StepTimings:

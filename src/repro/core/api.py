@@ -42,6 +42,7 @@ from ..index.slot import (
 )
 from ..memory.address import GlobalAddress
 from ..memory.slab import SIZE_UNIT, SizeClasser
+from ..obs.trace import NULL_SPAN
 from ..rdma.qp import rpc_call
 from ..rdma.verbs import Opcode, Verb
 from ..sim import Interrupt
@@ -71,7 +72,7 @@ class AcesoClient:
 
     def __init__(self, env, fabric, config: SystemConfig, cli_id: int,
                  cn, mns: Dict[int, object], servers: Dict[int, object],
-                 master, layout, codec, stats):
+                 master, layout, codec, stats, obs=None):
         self.env = env
         self.fabric = fabric
         self.config = config
@@ -84,6 +85,9 @@ class AcesoClient:
         self.layout = layout
         self.codec = codec
         self.stats = stats
+        #: Observability bundle; spans/metrics no-op when None or disabled.
+        self.obs = obs
+        self._track = f"cli{cli_id}"
         self.cache = IndexCache(config.ft.cache_policy)
         self.blocks = ClientBlockManager(cli_id)
         self.classer = SizeClasser(config.cluster.block_size)
@@ -125,9 +129,21 @@ class AcesoClient:
         affected node's Index-Area recovery and retries; the stall counts
         toward its latency.
         """
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return self._search_op(key, NULL_SPAN)
+        return self._traced_op("SEARCH", self._search_op, key)
+
+    def _traced_op(self, op: str, fn, *args) -> Generator:
+        """Run one op generator under a span on this client's track."""
+        with self.obs.tracer.span(op, cat="op", track=self._track) as sp:
+            result = yield from fn(*args, sp)
+            return result
+
+    def _search_op(self, key: bytes, sp) -> Generator:
         t0 = self.env.now
         home = self._home(key)
-        for _attempt in range(RETRY_BUDGET):
+        for attempt in range(RETRY_BUDGET):
             try:
                 record = yield from self._search_inner(key)
             except NodeFailedError as exc:
@@ -139,6 +155,7 @@ class AcesoClient:
                         yield self.master.milestone(node, "index_recovered")
                 continue
             self.stats.record_op("SEARCH", self.env.now - t0)
+            sp.set(retries=attempt)
             if record is None or record.tombstone:
                 self.stats.bump("search_miss")
                 raise KeyNotFoundError(key)
@@ -158,23 +175,31 @@ class AcesoClient:
     # fabric helpers
     # ------------------------------------------------------------------
 
+    def _cache_metric(self, hit: bool) -> None:
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.add("cache.hit" if hit else "cache.miss", 1)
+
     def _mn_nic(self, node: int):
         return self.mns[node].nic
 
     def _post_read(self, node: int, offset: int, length: int):
         mn = self.mns[node]
         return self.fabric.read(self.nic, mn.nic, length,
-                                execute=lambda: mn.read_bytes(offset, length))
+                                execute=lambda: mn.read_bytes(offset, length),
+                                track=self._track)
 
     def _post_write(self, node: int, offset: int, data: bytes):
         mn = self.mns[node]
         return self.fabric.write(self.nic, mn.nic, len(data),
-                                 execute=lambda: mn.write_bytes(offset, data))
+                                 execute=lambda: mn.write_bytes(offset, data),
+                                 track=self._track)
 
     def _post_cas(self, node: int, offset: int, expected: int, new: int):
         mn = self.mns[node]
         return self.fabric.cas(self.nic, mn.nic,
-                               execute=lambda: mn.cas_u64(offset, expected, new))
+                               execute=lambda: mn.cas_u64(offset, expected, new),
+                               track=self._track)
 
     def _rpc(self, server, method, *args, response_size=64,
              timeout=10e-3):
@@ -184,7 +209,7 @@ class AcesoClient:
         result = yield from rpc_call(self.env, self.fabric, self.nic,
                                      server.rpc_server, method, *args,
                                      response_size=response_size,
-                                     timeout=timeout)
+                                     timeout=timeout, track=self._track)
         return result
 
     def _leader(self):
@@ -223,7 +248,8 @@ class AcesoClient:
 
         verbs = [Verb(Opcode.READ, size, reader(b1)),
                  Verb(Opcode.READ, size, reader(b2))]
-        raws = yield self.fabric.post_batch(self.nic, mn.nic, verbs)
+        raws = yield self.fabric.post_batch(self.nic, mn.nic, verbs,
+                                            track=self._track)
         return [(b1, raws[0]), (b2, raws[1])]
 
     def _find_slot(self, key: bytes, buckets):
@@ -266,6 +292,8 @@ class AcesoClient:
     def _search_inner(self, key: bytes) -> Generator:
         home = self._home(key)
         entry = self.cache.lookup(key) if self.cache.enabled else None
+        if self.cache.enabled:
+            self._cache_metric(entry is not None)
         if entry is not None and self.cache.policy == "addr_value":
             record = yield from self._search_cached_addr(key, home, entry)
             return record
@@ -489,6 +517,13 @@ class AcesoClient:
     # ------------------------------------------------------------------
 
     def _write(self, key: bytes, value: bytes, op: str) -> Generator:
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return self._write_inner(key, value, op, NULL_SPAN)
+        return self._traced_op(op, self._write_inner, key, value, op)
+
+    def _write_inner(self, key: bytes, value: bytes, op: str,
+                     sp) -> Generator:
         t0 = self.env.now
         home = self._home(key)
         cas_count = 0
@@ -637,6 +672,7 @@ class AcesoClient:
                 self._maybe_seal(size_class, block)
                 self.stats.record_op(op, self.env.now - t0, cas=cas_count,
                                      retries=retries)
+                sp.set(retries=retries, cas=cas_count)
                 return
             # --- CAS failed: invalidate the orphan KV (line 18) ----------
             self.stats.bump("commit_conflicts")
@@ -690,6 +726,8 @@ class AcesoClient:
         the candidate buckets.
         """
         entry = self.cache.lookup(key) if self.cache.enabled else None
+        if self.cache.enabled:
+            self._cache_metric(entry is not None and entry.slot_offset >= 0)
         if entry is not None and entry.slot_offset >= 0:
             return (entry.bucket, entry.slot, entry.atomic_word,
                     entry.meta_word, False)

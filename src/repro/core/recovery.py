@@ -78,6 +78,15 @@ class RecoveryReport:
     def total_time(self) -> float:
         return self.blocks_done_at - self.started_at
 
+    def timeline(self) -> List[Tuple[str, float, float]]:
+        """Ordered (tier, start, end) triples of the three milestones;
+        the tier durations sum exactly to :attr:`total_time`."""
+        return [
+            ("tier.meta", self.started_at, self.meta_done_at),
+            ("tier.index", self.meta_done_at, self.index_done_at),
+            ("tier.block", self.index_done_at, self.blocks_done_at),
+        ]
+
     def row(self) -> Dict[str, float]:
         """Table 2's row for this recovery."""
         return {
@@ -198,8 +207,26 @@ class MemoryNodeRecovery:
         cluster.master.reach_milestone(node_id, MnState.RECOVERED)
         report.blocks_done_at = self.env.now
 
+        self._trace_recovery(report)
         server.start()  # resume the checkpoint loop
         return report
+
+    def _trace_recovery(self, report: RecoveryReport) -> None:
+        """Emit the tier timeline retroactively from the report's
+        milestone timestamps, so traced durations sum to total_time."""
+        obs = getattr(self.cluster, "obs", None)
+        if obs is None or not obs.enabled:
+            return
+        track = f"recover.mn{report.node_id}"
+        for phase, start, end in report.timeline():
+            obs.tracer.complete(phase, "recovery", track, start, end)
+        obs.tracer.instant("meta_recovered", cat="recovery", track=track,
+                           at=report.meta_done_at)
+        obs.tracer.instant("index_recovered", cat="recovery", track=track,
+                           at=report.index_done_at)
+        obs.tracer.instant("recovered", cat="recovery", track=track,
+                           at=report.blocks_done_at,
+                           total_ms=round(report.total_time * 1e3, 4))
 
     # -- tier 1: Meta Area -------------------------------------------------------
 
@@ -846,7 +873,8 @@ def restart_client(cluster, old_client):
     client = AcesoClient(cluster.env, cluster.fabric, cluster.config,
                          old_client.cli_id, new_cn, cluster.mns,
                          cluster.servers, cluster.master, cluster.layout,
-                         cluster.codec, cluster.stats)
+                         cluster.codec, cluster.stats,
+                         obs=getattr(cluster, "obs", None))
     cluster.clients.append(client)
     proc = cluster.env.process(_client_recovery(cluster, client),
                                name=f"cn-recover(cli{client.cli_id})")

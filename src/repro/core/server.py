@@ -39,6 +39,7 @@ from ..config import SystemConfig
 from ..ec.stripe import StripeCodec, StripeLayout
 from ..errors import AllocationError, NodeFailedError
 from ..memory.blocks import Role
+from ..obs.trace import NULL_SPAN
 from ..rdma.network import Fabric
 from ..rdma.qp import rpc_call
 from ..sim import Environment, Interrupt
@@ -161,6 +162,9 @@ class AcesoServer:
         )
         self.ckpt_rounds = 0
         self.last_delta_size = 0
+        #: Observability bundle (set by the cluster); None or disabled
+        #: keeps the checkpoint loop uninstrumented.
+        self.obs = None
 
         self._register_handlers()
 
@@ -745,44 +749,59 @@ class AcesoServer:
         if neighbor is None:
             return
         index_size = self.mn.index_region.size
-
-        # 1. snapshot + 2. XOR & compress (real bytes, modelled CPU time).
-        yield self.mn.ckpt_send_core.submit(index_size / cpu.memcpy_rate)
-        snapshot = self.mn.index_region.snapshot()
-        iv = self.mn.index.index_version
-        if self.node_id not in neighbor.mn.ckpt_images:
-            # Neighbour has no image (first round or it was rebuilt):
-            # restart the delta chain from zero so the delta is the full
-            # snapshot.
-            self.checkpointer = DifferentialCheckpointer(
-                self.checkpointer.compressor, index_size
+        obs = self.obs
+        traced = obs is not None and obs.enabled
+        sp = (obs.tracer.span("round", cat="checkpoint",
+                              track=f"ckpt.mn{self.node_id}")
+              if traced else NULL_SPAN)
+        with sp as span:
+            # 1. snapshot + 2. XOR & compress (real bytes, modelled CPU
+            # time).
+            yield self.mn.ckpt_send_core.submit(index_size / cpu.memcpy_rate)
+            snapshot = self.mn.index_region.snapshot()
+            iv = self.mn.index.index_version
+            if self.node_id not in neighbor.mn.ckpt_images:
+                # Neighbour has no image (first round or it was rebuilt):
+                # restart the delta chain from zero so the delta is the full
+                # snapshot.
+                self.checkpointer = DifferentialCheckpointer(
+                    self.checkpointer.compressor, index_size
+                )
+            delta = self.checkpointer.make_delta(snapshot, iv)
+            yield self.mn.ckpt_send_core.submit(
+                index_size / cpu.xor_rate + index_size / cpu.compress_rate
             )
-        delta = self.checkpointer.make_delta(snapshot, iv)
-        yield self.mn.ckpt_send_core.submit(
-            index_size / cpu.xor_rate + index_size / cpu.compress_rate
-        )
 
-        # 3. ship the compressed delta (+ any configured padding, used by
-        # the Fig. 1b interference experiment).
-        extra = getattr(self.config.checkpoint, "extra_bytes", 0)
-        payload = delta.compressed_size + extra
-        self.last_delta_size = delta.compressed_size
-        offset = 0
-        while offset < payload:
-            chunk = min(_CKPT_CHUNK, payload - offset)
-            yield self.fabric.write(self.mn.nic, neighbor.mn.nic, chunk,
-                                    traffic_class="checkpoint")
-            offset += chunk
+            # 3. ship the compressed delta (+ any configured padding, used
+            # by the Fig. 1b interference experiment).
+            extra = getattr(self.config.checkpoint, "extra_bytes", 0)
+            payload = delta.compressed_size + extra
+            self.last_delta_size = delta.compressed_size
+            ship_started = self.env.now
+            offset = 0
+            while offset < payload:
+                chunk = min(_CKPT_CHUNK, payload - offset)
+                yield self.fabric.write(self.mn.nic, neighbor.mn.nic, chunk,
+                                        traffic_class="checkpoint")
+                offset += chunk
+            if traced:
+                obs.metrics.add("ckpt.shipped_bytes", payload)
+                span.set(
+                    raw_bytes=delta.raw_size,
+                    compressed_bytes=delta.compressed_size,
+                    ratio=round(delta.compression_ratio, 3),
+                    ship_ms=round((self.env.now - ship_started) * 1e3, 4),
+                )
 
-        # 4. neighbour decompresses and applies.
-        yield neighbor.mn.ckpt_recv_core.submit(
-            delta.raw_size / cpu.decompress_rate
-            + index_size / cpu.xor_rate
-        )
-        prev = neighbor.mn.ckpt_images.get(self.node_id)
-        image = self.checkpointer.apply_delta(prev, delta)
-        neighbor.mn.ckpt_images[self.node_id] = image
+            # 4. neighbour decompresses and applies.
+            yield neighbor.mn.ckpt_recv_core.submit(
+                delta.raw_size / cpu.decompress_rate
+                + index_size / cpu.xor_rate
+            )
+            prev = neighbor.mn.ckpt_images.get(self.node_id)
+            image = self.checkpointer.apply_delta(prev, delta)
+            neighbor.mn.ckpt_images[self.node_id] = image
 
-        # 5. bump the Index Version (§3.2.3).
-        self.mn.index.index_version = iv + 1
-        self.ckpt_rounds += 1
+            # 5. bump the Index Version (§3.2.3).
+            self.mn.index.index_version = iv + 1
+            self.ckpt_rounds += 1

@@ -18,6 +18,7 @@ from ..config import SystemConfig
 from ..ec.stripe import StripeLayout, make_codec
 from ..errors import ConfigError
 from ..memory.blocks import Role
+from ..obs import Observability
 from ..rdma.network import Fabric
 from ..sim import Environment, StatsRegistry
 from .api import AcesoClient
@@ -56,13 +57,17 @@ class MemoryDistribution:
 class ClusterBase:
     """Substrate shared by Aceso and the baselines."""
 
-    def __init__(self, config: SystemConfig, env: Optional[Environment] = None):
+    def __init__(self, config: SystemConfig, env: Optional[Environment] = None,
+                 obs: Optional[Observability] = None):
         config.validate()
         self.config = config
         self.env = env if env is not None else Environment()
         self.fabric = Fabric(self.env)
         self.master = Master(self.env)
         self.stats = StatsRegistry()
+        #: Observability bundle; a disabled default keeps every
+        #: instrumented hot path at one attribute check.
+        self.obs = obs if obs is not None else Observability()
         cluster = config.cluster
 
         self.mns: Dict[int, MemoryNode] = {}
@@ -78,6 +83,7 @@ class ClusterBase:
 
         self.clients: List = []
         self._started = False
+        self.obs.attach_cluster(self)
 
     # -- running -----------------------------------------------------------
 
@@ -109,10 +115,17 @@ class ClusterBase:
 
     # -- failure injection hooks --------------------------------------------
 
+    def _mark_fault(self, kind: str, node_id: int) -> None:
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.tracer.instant(f"crash.{kind}{node_id}", cat="fault",
+                               track="faults", kind=kind, node=node_id)
+
     def crash_mn(self, node_id: int) -> None:
         raise NotImplementedError
 
     def crash_cn(self, node_id: int) -> None:
+        self._mark_fault("cn", node_id)
         cn = self.cns[node_id]
         cn.crash()
         for client in self.clients:
@@ -125,7 +138,8 @@ class AcesoCluster(ClusterBase):
     """The full Aceso system on simulated disaggregated memory."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 env: Optional[Environment] = None):
+                 env: Optional[Environment] = None,
+                 obs: Optional[Observability] = None):
         if config is None:
             from ..config import aceso_config
             config = aceso_config()
@@ -134,7 +148,7 @@ class AcesoCluster(ClusterBase):
                 "AcesoCluster requires kv_scheme='ec' and "
                 "index_mode='checkpoint'; use FuseeCluster for replication"
             )
-        super().__init__(config, env)
+        super().__init__(config, env, obs)
         coding = config.coding
         if config.cluster.num_mns != coding.group_size:
             raise ConfigError(
@@ -150,6 +164,7 @@ class AcesoCluster(ClusterBase):
         for i, mn in self.mns.items():
             self.servers[i] = AcesoServer(self.env, self.fabric, mn, config,
                                           self.layout, self.codec, self.master)
+            self.servers[i].obs = self.obs
         for server in self.servers.values():
             server.servers = self.servers
         self.servers[0].directory = StripeDirectory(coding.k, coding.m)
@@ -160,7 +175,8 @@ class AcesoCluster(ClusterBase):
             for _slot in range(cluster.clients_per_cn):
                 client = AcesoClient(self.env, self.fabric, config, cli_id,
                                      cn, self.mns, self.servers, self.master,
-                                     self.layout, self.codec, self.stats)
+                                     self.layout, self.codec, self.stats,
+                                     obs=self.obs)
                 self.clients.append(client)
                 cli_id += 1
 
@@ -184,6 +200,7 @@ class AcesoCluster(ClusterBase):
     # -- failures --------------------------------------------------------------
 
     def crash_mn(self, node_id: int) -> None:
+        self._mark_fault("mn", node_id)
         mn = self.mns[node_id]
         server = self.servers[node_id]
         server.stop()

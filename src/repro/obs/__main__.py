@@ -1,0 +1,93 @@
+"""CLI: traced demo runs.
+
+``python -m repro.obs`` runs a YCSB workload on a traced cluster, prints
+the utilization/timeline report, and exports a Chrome-trace JSON (open it
+in https://ui.perfetto.dev or ``chrome://tracing``).  ``--kill-mn N``
+additionally crashes one memory node after the measured window so the
+export shows the tiered Meta -> Index -> Block recovery timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..bench.common import SCALES, build_cluster, run_mix
+from ..workloads import ycsb_stream
+from . import Observability
+from .export import flat_summary, render_report, write_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run a traced demo workload and export the simulation "
+                    "trace.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="cluster geometry tier (default: smoke)")
+    parser.add_argument("--system", choices=("aceso", "fusee"),
+                        default="aceso")
+    parser.add_argument("--workload", default="A",
+                        help="YCSB workload letter (default: A)")
+    parser.add_argument("--kill-mn", type=int, default=None, metavar="NODE",
+                        help="crash this MN after the measured window and "
+                             "trace its tiered recovery (aceso only)")
+    parser.add_argument("-o", "--output", default="trace.json",
+                        help="Chrome-trace output path (default: "
+                             "trace.json)")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="also write the flat JSON summary here")
+    args = parser.parse_args(argv)
+
+    if args.kill_mn is not None and args.system != "aceso":
+        parser.error("--kill-mn requires --system aceso (tiered recovery)")
+
+    scale = SCALES[args.scale]
+    obs = Observability(enabled=True)
+    cluster = build_cluster(args.system, scale, obs=obs)
+    if args.kill_mn is not None and args.kill_mn not in cluster.mns:
+        parser.error(f"--kill-mn {args.kill_mn}: this cluster has MNs "
+                     f"{sorted(cluster.mns)}")
+    res = run_mix(
+        cluster, scale,
+        lambda cli_id: ycsb_stream(args.workload, cli_id, scale.total_keys,
+                                   scale.kv_size - 64),
+    )
+    print(f"[YCSB-{args.workload} on {args.system}: {res.total_ops} ops, "
+          f"{res.total_ops / res.duration / 1e6:.3f} Mops over "
+          f"{res.duration * 1e3:g} ms simulated]")
+
+    if args.kill_mn is not None:
+        from ..cluster.master import MnState
+        victim = args.kill_mn
+        cluster.run(cluster.env.now + 0.05)  # settle seals + checkpoints
+        cluster.crash_mn(victim)
+        done = cluster.master.milestone(victim, MnState.RECOVERED)
+        cluster.env.run_until_event(done, limit=cluster.env.now + 600)
+        report = cluster._recovery.reports[-1]
+        print(f"[mn{victim} recovered in {report.total_time * 1e3:.2f} ms "
+              f"simulated]")
+
+    # Scope utilization to the measured window (load/settle phases would
+    # dilute the means); spans and timelines still cover the whole run.
+    opens = [i.at for i in obs.tracer.instants if i.name == "measure.open"]
+    closes = [i.at for i in obs.tracer.instants if i.name == "measure.close"]
+    start = opens[-1] if opens else None
+    end = closes[-1] if closes else None
+
+    print()
+    print(render_report(obs, start, end))
+    path = write_chrome_trace(obs, args.output)
+    print(f"\n[wrote {path} — open in https://ui.perfetto.dev]")
+    if args.summary:
+        with open(args.summary, "w") as fh:
+            json.dump(flat_summary(obs), fh, indent=2)
+            fh.write("\n")
+        print(f"[wrote {args.summary}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

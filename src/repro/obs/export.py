@@ -1,0 +1,250 @@
+"""Exporters: Chrome-trace/Perfetto JSON, flat JSON summary, text report.
+
+``chrome_trace`` emits the Trace Event Format (the JSON object form with
+a ``traceEvents`` list) that both ``chrome://tracing`` and Perfetto's
+https://ui.perfetto.dev open directly:
+
+* spans      → complete events (``"ph": "X"``) with microsecond ts/dur,
+* instants   → ``"ph": "i"`` events,
+* metrics    → counter events (``"ph": "C"``), one per window,
+* tracks     → one ``tid`` per track plus ``thread_name`` metadata.
+
+Simulated seconds map to trace microseconds ×1e6, so a 10 ms simulated
+run renders as a 10 ms timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..sim.stats import percentile
+
+__all__ = ["chrome_trace", "write_chrome_trace", "flat_summary",
+           "render_report", "utilization_rows", "span_rows",
+           "timeline_rows"]
+
+_PID = 0
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+def _track_ids(obs) -> Dict[str, int]:
+    """Stable track -> tid mapping (clients first, then NICs, then rest)."""
+
+    def rank(track: str):
+        for i, prefix in enumerate(("cli", "nic", "ckpt", "recover")):
+            if track.startswith(prefix):
+                return (i, track)
+        return (9, track)
+
+    return {track: tid for tid, track
+            in enumerate(sorted(obs.tracer.tracks(), key=rank))}
+
+
+def chrome_trace(obs, include_counters: bool = True) -> Dict:
+    """Trace Event Format dict for one observability bundle."""
+    tids = _track_ids(obs)
+    events: List[Dict] = [{
+        "ph": "M", "pid": _PID, "name": "process_name",
+        "args": {"name": "aceso-sim"},
+    }]
+    for track, tid in tids.items():
+        events.append({"ph": "M", "pid": _PID, "tid": tid,
+                       "name": "thread_name", "args": {"name": track}})
+    for span in obs.tracer.spans:
+        event = {
+            "ph": "X", "pid": _PID, "tid": tids[span.track],
+            "name": span.name, "cat": span.cat or "span",
+            "ts": span.start * _US, "dur": span.duration * _US,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for inst in obs.tracer.instants:
+        event = {
+            "ph": "i", "s": "t", "pid": _PID, "tid": tids[inst.track],
+            "name": inst.name, "cat": inst.cat or "instant",
+            "ts": inst.at * _US,
+        }
+        if inst.args:
+            event["args"] = inst.args
+        events.append(event)
+    if include_counters:
+        window_us = obs.metrics.window * _US
+        for name in obs.metrics.names():
+            series = obs.metrics.get(name)
+            values = (obs.metrics.utilisation(name).items()
+                      if name.endswith(".busy") else series.items())
+            for bucket, value in values:
+                events.append({
+                    "ph": "C", "pid": _PID, "name": name,
+                    "ts": bucket * window_us,
+                    "args": {"value": round(value, 9)},
+                })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "simulated",
+            "metrics_window_s": obs.metrics.window,
+        },
+    }
+
+
+def write_chrome_trace(obs, path: str,
+                       include_counters: bool = True) -> str:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(obs, include_counters=include_counters), fh)
+    return path
+
+
+# ----------------------------------------------------------------------
+# flat summary + text report
+# ----------------------------------------------------------------------
+
+def span_rows(obs) -> List[Dict]:
+    """Per-(category, name) aggregate over all spans."""
+    groups: Dict[tuple, List[float]] = {}
+    for span in obs.tracer.spans:
+        groups.setdefault((span.cat, span.name), []).append(span.duration)
+    rows = []
+    for (cat, name), durations in sorted(groups.items()):
+        rows.append({
+            "cat": cat, "name": name, "count": len(durations),
+            "mean_us": sum(durations) / len(durations) * 1e6,
+            "p95_us": percentile(durations, 95.0) * 1e6,
+            "max_us": max(durations) * 1e6,
+        })
+    return rows
+
+
+def utilization_rows(obs, start: Optional[float] = None,
+                     end: Optional[float] = None) -> List[Dict]:
+    """Per-NIC utilization summary (mean/peak over [start, end))."""
+    rows = []
+    metrics = obs.metrics
+    for label in obs.nic_labels("mn") + obs.nic_labels("cn"):
+        busy = f"nic.{label}.busy"
+        util = metrics.utilisation(busy)
+        rows.append({
+            "nic": label,
+            "mean_pct": metrics.mean_utilisation(busy, start, end) * 100.0,
+            "write_pct": metrics.mean_utilisation(
+                f"nic.{label}.wbusy", start, end) * 100.0,
+            "peak_pct": max(util.values(), default=0.0) * 100.0,
+            "msgs": int(metrics.total(f"nic.{label}.msgs")),
+            "peak_backlog_us": metrics.get(
+                f"nic.{label}.backlog").peak() * 1e6
+            if metrics.get(f"nic.{label}.backlog") else 0.0,
+        })
+    return rows
+
+
+def timeline_rows(obs, cat: str = "recovery") -> List[Dict]:
+    """Ordered phase rows of one timeline category (recovery tiers,
+    checkpoint rounds)."""
+    rows = []
+    for span in sorted(obs.tracer.spans_by(cat=cat),
+                       key=lambda s: (s.track, s.start)):
+        row = {"track": span.track, "phase": span.name,
+               "start_ms": span.start * 1e3, "end_ms": span.end * 1e3,
+               "dur_ms": span.duration * 1e3}
+        if span.args:
+            row.update(span.args)
+        rows.append(row)
+    return rows
+
+
+def flat_summary(obs) -> Dict:
+    """Machine-readable rollup: spans, utilization, traffic, timelines."""
+    traffic = {
+        name.split(".", 1)[1]: obs.metrics.total(name)
+        for name in obs.metrics.names() if name.startswith("bytes.")
+    }
+    return {
+        "spans": span_rows(obs),
+        "instants": [
+            {"name": i.name, "cat": i.cat, "track": i.track,
+             "at_ms": i.at * 1e3}
+            for i in obs.tracer.instants
+        ],
+        "nic_utilization": utilization_rows(obs),
+        "mean_mn_utilization": obs.mean_nic_utilisation("mn"),
+        "mean_cn_utilization": obs.mean_nic_utilisation("cn"),
+        "mean_mn_write_utilization": obs.mean_nic_utilisation(
+            "mn", series="wbusy"),
+        "mean_cn_write_utilization": obs.mean_nic_utilisation(
+            "cn", series="wbusy"),
+        "traffic_bytes": traffic,
+        "recovery_timeline": timeline_rows(obs, cat="recovery"),
+        "checkpoint_rounds": timeline_rows(obs, cat="checkpoint"),
+        "metrics": obs.metrics.to_dict(),
+    }
+
+
+def _table(title: str, columns, rows) -> str:
+    from ..bench.common import format_table
+    return format_table(title, columns, rows)
+
+
+def render_report(obs, start: Optional[float] = None,
+                  end: Optional[float] = None) -> str:
+    """Human-readable utilization + timeline report."""
+    parts: List[str] = []
+    util = utilization_rows(obs, start, end)
+    if util:
+        parts.append(_table(
+            f"NIC utilization (window = {obs.metrics.window * 1e3:g} ms)",
+            ["nic", "mean_pct", "write_pct", "peak_pct", "msgs",
+             "peak_backlog_us"],
+            util,
+        ))
+        mn = obs.mean_nic_utilisation("mn", start, end)
+        cn = obs.mean_nic_utilisation("cn", start, end)
+        ratio = mn / cn if cn > 0 else float("inf")
+        wmn = obs.mean_nic_utilisation("mn", start, end, series="wbusy")
+        wcn = obs.mean_nic_utilisation("cn", start, end, series="wbusy")
+        wratio = wmn / wcn if wcn > 0 else float("inf")
+        parts.append(
+            f"mean MN-NIC {mn * 100:.1f}% vs CN-NIC {cn * 100:.1f}%  "
+            f"(ratio {ratio:.2f}x); write path "
+            f"{wmn * 100:.1f}% vs {wcn * 100:.1f}%  "
+            f"(ratio {wratio:.2f}x)"
+        )
+    ops = [r for r in span_rows(obs) if r["cat"] == "op"]
+    if ops:
+        parts.append(_table("Operation spans (simulated time)",
+                            ["name", "count", "mean_us", "p95_us",
+                             "max_us"], ops))
+    verbs = [r for r in span_rows(obs) if r["cat"] == "verb"]
+    if verbs:
+        parts.append(_table("RDMA verb spans",
+                            ["name", "count", "mean_us", "p95_us",
+                             "max_us"], verbs))
+    ckpt = timeline_rows(obs, cat="checkpoint")
+    if ckpt:
+        parts.append(_table(
+            "Checkpoint rounds",
+            ["track", "start_ms", "dur_ms", "raw_bytes",
+             "compressed_bytes", "ratio", "ship_ms"],
+            ckpt,
+        ))
+    recovery = timeline_rows(obs, cat="recovery")
+    if recovery:
+        parts.append(_table(
+            "Recovery timeline (tiers in completion order)",
+            ["track", "phase", "start_ms", "end_ms", "dur_ms"],
+            recovery,
+        ))
+    traffic = [
+        {"class": name.split(".", 1)[1],
+         "mbytes": obs.metrics.total(name) / 1e6}
+        for name in obs.metrics.names() if name.startswith("bytes.")
+    ]
+    if traffic:
+        parts.append(_table("Fabric traffic by class", ["class", "mbytes"],
+                            traffic))
+    if not parts:
+        return "(no observability data recorded — was tracing enabled?)"
+    return "\n\n".join(parts)

@@ -34,6 +34,9 @@ class Fabric:
         self._alive: Dict[int, bool] = {}
         # Traffic accounting for the bandwidth-interference analyses.
         self.bytes_by_class: Dict[str, int] = {}
+        #: Observability bundle (set by the cluster); None or disabled
+        #: keeps the post path free of tracing work.
+        self.obs = None
 
     # -- membership --------------------------------------------------------
 
@@ -59,25 +62,34 @@ class Fabric:
     # -- posting -----------------------------------------------------------
 
     def post(self, src: RNIC, dst: RNIC, verb: Verb,
-             traffic_class: str = "client") -> Event:
+             traffic_class: str = "client",
+             track: Optional[str] = None) -> Event:
         """Post one verb; the returned event triggers with ``verb.execute()``'s
         result (or ``None``) at completion time."""
-        return self.post_batch(src, dst, [verb], traffic_class=traffic_class)
+        return self.post_batch(src, dst, [verb], traffic_class=traffic_class,
+                               track=track)
 
     def post_batch(self, src: RNIC, dst: RNIC, verbs: Sequence[Verb],
-                   traffic_class: str = "client") -> Event:
+                   traffic_class: str = "client",
+                   track: Optional[str] = None) -> Event:
         """Post a doorbell-batched group of verbs to one destination.
 
         The source pays one doorbell for the whole group (when batching is
         enabled); the destination processes each message.  The returned
         event triggers with the list of per-verb results — or the single
         result when one verb was posted.
+
+        ``track`` names the trace track a verb span is emitted on when
+        tracing is enabled (clients pass their own track so verb spans
+        nest under the op span; the default is the source NIC's track).
         """
         if not verbs:
             raise ValueError("empty verb batch")
         env = self.env
         done = env.event()
         rtt = src.config.rtt
+        obs = self.obs
+        tracer = obs.tracer if obs is not None and obs.enabled else None
 
         if not self._alive.get(dst.node_id, False):
             # Destination already dead: the QP errors out after a timeout
@@ -104,9 +116,22 @@ class Fabric:
         self.bytes_by_class[traffic_class] = (
             self.bytes_by_class.get(traffic_class, 0) + dst_bytes
         )
-
         doorbells = 1 if src.config.doorbell_batching else len(verbs)
-        src_ev = src.submit(src_bytes, doorbells=doorbells)
+        src_service = src.service_time(src_bytes, doorbells=doorbells)
+        if tracer is not None:
+            obs.metrics.add(f"bytes.{traffic_class}", dst_bytes)
+            if any(v.opcode != Opcode.READ for v in verbs):
+                # Write-path occupancy per side — the series behind the
+                # paper's §2.4 asymmetry (writes are MN-IOPS-bound).
+                obs.metrics.add(f"nic.{src.obs_label}.wbusy", src_service)
+                obs.metrics.add(f"nic.{dst.obs_label}.wbusy", dst_service)
+            # Captured before submission: the queueing delay a new group
+            # sees is the backlog already in the FIFOs, which separates
+            # wait from service in the emitted span.
+            t_post = env.now
+            queue_wait = max(src.backlog(), dst.backlog())
+
+        src_ev = src.submit_time(src_service)
         dst_ev = dst.submit_time(dst_service)
 
         single = len(verbs) == 1
@@ -118,8 +143,24 @@ class Fabric:
                 return
             env.timeout(rtt).add_callback(finish)
 
+        def trace_verb(error: str = "") -> None:
+            name = (verbs[0].opcode.name if single
+                    else f"batch[{len(verbs)}]")
+            span = tracer.complete(
+                name, "verb", track or f"nic.{src.obs_label}",
+                t_post, env.now,
+                bytes=dst_bytes, tc=traffic_class,
+                queue_us=round(queue_wait * 1e6, 3),
+                service_us=round(dst_service * 1e6, 3),
+                rtt_us=round(rtt * 1e6, 3),
+            )
+            if error:
+                span.set(error=error)
+
         def finish(_ev: Event) -> None:
             if not self._alive.get(dst.node_id, False):
+                if tracer is not None:
+                    trace_verb(error="node failed in flight")
                 done.fail(NodeFailedError(dst.node_id, "in flight"))
                 return
             try:
@@ -127,6 +168,8 @@ class Fabric:
             except BaseException as exc:  # surface memory-model bugs loudly
                 done.fail(exc)
                 return
+            if tracer is not None:
+                trace_verb()
             done.succeed(results[0] if single else results)
 
         src_ev.add_callback(on_side_done)
@@ -187,21 +230,25 @@ class Fabric:
     # -- convenience wrappers (the hot paths) -------------------------------
 
     def read(self, src: RNIC, dst: RNIC, size: int, execute=None,
-             traffic_class: str = "client") -> Event:
+             traffic_class: str = "client",
+             track: Optional[str] = None) -> Event:
         return self.post(src, dst, Verb(Opcode.READ, size, execute),
-                         traffic_class=traffic_class)
+                         traffic_class=traffic_class, track=track)
 
     def write(self, src: RNIC, dst: RNIC, size: int, execute=None,
-              traffic_class: str = "client") -> Event:
+              traffic_class: str = "client",
+              track: Optional[str] = None) -> Event:
         return self.post(src, dst, Verb(Opcode.WRITE, size, execute),
-                         traffic_class=traffic_class)
+                         traffic_class=traffic_class, track=track)
 
     def cas(self, src: RNIC, dst: RNIC, execute,
-            traffic_class: str = "client") -> Event:
+            traffic_class: str = "client",
+            track: Optional[str] = None) -> Event:
         return self.post(src, dst, Verb(Opcode.CAS, 8, execute),
-                         traffic_class=traffic_class)
+                         traffic_class=traffic_class, track=track)
 
     def faa(self, src: RNIC, dst: RNIC, execute,
-            traffic_class: str = "client") -> Event:
+            traffic_class: str = "client",
+            track: Optional[str] = None) -> Event:
         return self.post(src, dst, Verb(Opcode.FAA, 8, execute),
-                         traffic_class=traffic_class)
+                         traffic_class=traffic_class, track=track)

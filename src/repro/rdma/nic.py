@@ -32,6 +32,10 @@ class RNIC:
         self._op_cost = 1.0 / config.iops
         self._atomic_cost = 1.0 / config.atomic_iops
         self._byte_cost = 1.0 / config.bandwidth
+        #: Observability bundle + series label, wired by the cluster
+        #: (``Observability.attach_cluster``); None keeps submits free.
+        self.obs = None
+        self.obs_label = self.name
 
     def service_time(self, wire_bytes: int, *, doorbells: int = 1,
                      atomics: int = 0) -> float:
@@ -47,10 +51,18 @@ class RNIC:
 
     def submit(self, wire_bytes: int, *, doorbells: int = 1) -> Event:
         """Occupy the NIC for one message; returns its drain event."""
-        return self._pipe.submit(self.service_time(wire_bytes, doorbells=doorbells))
+        return self.submit_time(
+            self.service_time(wire_bytes, doorbells=doorbells))
 
     def submit_time(self, service_time: float) -> Event:
         """Occupy the NIC for a precomputed duration."""
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            metrics = obs.metrics
+            metrics.add(f"nic.{self.obs_label}.busy", service_time)
+            metrics.add(f"nic.{self.obs_label}.msgs", 1)
+            metrics.peak(f"nic.{self.obs_label}.backlog",
+                         self._pipe.backlog())
         return self._pipe.submit(service_time)
 
     # -- introspection (benchmarks) ---------------------------------------

@@ -110,12 +110,25 @@ class RpcServer:
 def rpc_call(env: Environment, fabric: Fabric, src: RNIC, server: RpcServer,
              method: str, *args, request_size: int = DEFAULT_RPC_SIZE,
              response_size: int = DEFAULT_RPC_SIZE,
-             timeout: float = DEFAULT_RPC_TIMEOUT) -> Generator:
+             timeout: float = DEFAULT_RPC_TIMEOUT,
+             track: Optional[str] = None) -> Generator:
     """Issue one RPC; yields until the response arrives.
 
     Raises :class:`NodeFailedError` if no response arrives within *timeout*
-    (crashed server) or if the handler returned an error.
+    (crashed server) or if the handler returned an error.  ``track`` names
+    the trace track of the emitted RPC span (default: the caller's NIC).
     """
+    obs = fabric.obs
+    tracer = obs.tracer if obs is not None and obs.enabled else None
+    t0 = env.now
+
+    def trace_rpc(error: str = "") -> None:
+        span = tracer.complete(f"rpc.{method}", "rpc",
+                               track or f"nic.{src.obs_label}",
+                               t0, env.now, server=server.nic.name)
+        if error:
+            span.set(error=error)
+
     reply_event = env.event()
     request = RpcRequest(method, args, reply_to=src, reply_event=reply_event,
                          response_size=response_size)
@@ -124,7 +137,8 @@ def rpc_call(env: Environment, fabric: Fabric, src: RNIC, server: RpcServer,
         server.inbox.put(request)
 
     verb = Verb(Opcode.SEND, request_size, enqueue)
-    post_ev = fabric.post(src, server.nic, verb, traffic_class="rpc")
+    post_ev = fabric.post(src, server.nic, verb, traffic_class="rpc",
+                          track=track)
 
     # Wait for the request to land; a dead destination fails here.
     yield post_ev
@@ -132,7 +146,13 @@ def rpc_call(env: Environment, fabric: Fabric, src: RNIC, server: RpcServer,
     outcome = yield env.any_of([reply_event, env.timeout(timeout)])
     index, value = outcome
     if index == 1:
+        if tracer is not None:
+            trace_rpc(error="timeout")
         raise NodeFailedError(server.nic.node_id, f"rpc {method} timed out")
     if isinstance(value, BaseException):
+        if tracer is not None:
+            trace_rpc(error=type(value).__name__)
         raise value
+    if tracer is not None:
+        trace_rpc()
     return value

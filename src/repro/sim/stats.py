@@ -53,8 +53,14 @@ class LatencyRecorder:
     def p50(self) -> float:
         return percentile(self.samples, 50.0)
 
+    def p95(self) -> float:
+        return percentile(self.samples, 95.0)
+
     def p99(self) -> float:
         return percentile(self.samples, 99.0)
+
+    def p999(self) -> float:
+        return percentile(self.samples, 99.9)
 
 
 @dataclass
@@ -129,24 +135,37 @@ class StatsRegistry:
             raise RuntimeError("window not closed")
         return self.window_end - self.window_start
 
+    def _safe_window(self) -> float:
+        """The window length, or 0.0 when unclosed/zero-length — lets
+        summary paths degrade to zero throughput instead of raising."""
+        if self.window_end is None:
+            return 0.0
+        return max(self.window_end - self.window_start, 0.0)
+
     def total_ops(self) -> int:
         return sum(s.ops for s in self.per_op.values())
 
     def total_throughput(self) -> float:
-        return self.total_ops() / self.window
+        window = self._safe_window()
+        if window <= 0:
+            return 0.0
+        return self.total_ops() / window
 
     def throughput(self, name: str) -> float:
-        return self.per_op[name].throughput(self.window)
+        return self.per_op[name].throughput(self._safe_window())
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Flat dict of headline numbers per op type (for reports)."""
+        window = self._safe_window()
         out: Dict[str, Dict[str, float]] = {}
         for name, stats in sorted(self.per_op.items()):
             out[name] = {
                 "ops": stats.ops,
-                "throughput": stats.throughput(self.window),
+                "throughput": stats.throughput(window),
                 "p50_us": stats.latency.p50() * 1e6,
+                "p95_us": stats.latency.p95() * 1e6,
                 "p99_us": stats.latency.p99() * 1e6,
+                "p999_us": stats.latency.p999() * 1e6,
                 "mean_cas": stats.cas_issued / stats.ops if stats.ops else 0.0,
                 "retries": stats.retries,
                 "errors": stats.errors,

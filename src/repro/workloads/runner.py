@@ -94,9 +94,16 @@ class WorkloadRunner:
         if warmup > 0:
             self.env.run(until=self.env.now + warmup)
         stats = self.cluster.stats
+        obs = getattr(self.cluster, "obs", None)
         stats.open_window(self.env.now)
+        if obs is not None and obs.enabled:
+            obs.tracer.instant("measure.open", cat="harness",
+                               track="harness")
         self.env.run(until=self.env.now + duration)
         stats.close_window(self.env.now)
+        if obs is not None and obs.enabled:
+            obs.tracer.instant("measure.close", cat="harness",
+                               track="harness")
         self._stop = True
         # Let in-flight ops drain so no generator is left suspended.
         self.env.run(until=self.env.now + min(duration, 0.05))
