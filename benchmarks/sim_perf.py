@@ -1,0 +1,125 @@
+"""Engine micro-benchmark: raw event-dispatch and end-to-end op rates.
+
+Run directly (CI uploads the json artifact)::
+
+    PYTHONPATH=src python benchmarks/sim_perf.py [--json-dir DIR]
+
+Three probes, smallest to largest:
+
+* ``timeout_churn`` — pure heap throughput: processes that do nothing but
+  ``yield env.timeout(...)``; isolates Event/Timeout allocation + heapq.
+* ``fabric_posts`` — RDMA verb completions through the Fabric/RNIC path
+  (the Deferred fast path this PR introduced).
+* ``ycsb_a`` — a full YCSB-A measurement window on the smoke cluster;
+  events/sec here is what bounds every figure runner's wall clock.
+
+Emits ``BENCH_simperf.json`` with events/sec, ops/sec, and ns/event so
+regressions show up as a number, not a feeling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.common import SCALES, build_cluster, run_mix  # noqa: E402
+from repro.config import aceso_config  # noqa: E402
+from repro.rdma.network import Fabric  # noqa: E402
+from repro.rdma.nic import RNIC  # noqa: E402
+from repro.sim import Environment  # noqa: E402
+from repro.workloads import ycsb_stream  # noqa: E402
+
+
+def _bench_timeout_churn(n_procs: int = 100, n_events: int = 200_000):
+    """Pure engine: n_procs generators ping-ponging timeouts."""
+    env = Environment()
+    per_proc = n_events // n_procs
+
+    def churner(delay):
+        for _ in range(per_proc):
+            yield env.timeout(delay)
+
+    for i in range(n_procs):
+        env.process(churner(1e-6 * (1 + i % 7)))
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    dispatched = n_procs * per_proc
+    return {"events": dispatched, "wall_s": wall,
+            "events_per_sec": dispatched / wall,
+            "ns_per_event": wall / dispatched * 1e9}
+
+
+def _bench_fabric_posts(n_ops: int = 50_000):
+    """Verb completions through the Fabric fast path (one client QP
+    hammering one MN with signaled 1 KB WRITEs)."""
+    cfg = aceso_config(num_cns=1, clients_per_cn=1, index_buckets=64,
+                       blocks_per_mn=8, block_size=64 * 1024, kv_size=1024)
+    env = Environment()
+    fabric = Fabric(env)
+    src = fabric.register(RNIC(env, cfg.cluster.nic, node_id=0, name="cn0"))
+    dst = fabric.register(RNIC(env, cfg.cluster.nic, node_id=1, name="mn0"))
+
+    def poster():
+        for _ in range(n_ops):
+            yield fabric.write(src, dst, 1024)
+
+    proc = env.process(poster())
+    start = time.perf_counter()
+    env.run_until_event(proc)
+    wall = time.perf_counter() - start
+    return {"ops": n_ops, "wall_s": wall,
+            "ops_per_sec": n_ops / wall,
+            "ns_per_op": wall / n_ops * 1e9}
+
+
+def _bench_ycsb_a():
+    """Full-stack: one YCSB-A measurement window at smoke scale."""
+    scale = SCALES["smoke"]
+    cluster = build_cluster("aceso", scale)
+    start = time.perf_counter()
+    res = run_mix(cluster, scale,
+                  lambda cli_id: ycsb_stream("A", cli_id, scale.total_keys,
+                                             scale.kv_size - 64))
+    wall = time.perf_counter() - start
+    events = next(cluster.env._seq)  # events scheduled over the whole run
+    return {"total_ops": res.total_ops, "wall_s": wall,
+            "sim_events": events,
+            "events_per_sec": events / wall,
+            "ops_per_sec": res.total_ops / wall,
+            "sim_mops": res.total_ops / res.duration / 1e6}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json-dir", default=".",
+                        help="directory for BENCH_simperf.json")
+    parser.add_argument("--no-json", action="store_true")
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, fn in (("timeout_churn", _bench_timeout_churn),
+                     ("fabric_posts", _bench_fabric_posts),
+                     ("ycsb_a", _bench_ycsb_a)):
+        results[name] = fn()
+        line = ", ".join(f"{k}={v:,.1f}" if isinstance(v, float) else
+                         f"{k}={v:,}" for k, v in results[name].items())
+        print(f"{name}: {line}")
+
+    if not args.no_json:
+        path = os.path.join(args.json_dir, "BENCH_simperf.json")
+        with open(path, "w") as fh:
+            json.dump({"benchmark": "simperf", "results": results}, fh,
+                      indent=2)
+            fh.write("\n")
+        print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,4 +67,10 @@ def run_figure(name: str, scale: str = "smoke") -> FigureResult:
         raise KeyError(
             f"unknown figure {name!r}; choose from {sorted(REGISTRY)}"
         ) from None
-    return runner(SCALES[scale])
+    result = runner(SCALES[scale])
+    from ..checkpoint.compress import default_codec_name
+    from .common import bench_seed
+    result.meta.setdefault("scale", scale)
+    result.meta.setdefault("seed", bench_seed())
+    result.meta.setdefault("checkpoint_codec", default_codec_name())
+    return result

@@ -6,8 +6,8 @@ import argparse
 import sys
 import time
 
-from . import REGISTRY, SCALES, run_figure
-from .common import drain_trace_bundles, set_tracing
+from . import REGISTRY, SCALES
+from .parallel import run_targets
 
 
 def main(argv=None) -> int:
@@ -21,6 +21,17 @@ def main(argv=None) -> int:
                              "'list'")
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
                         help="benchmark geometry tier (default: smoke)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes; (figure, seed) cells fan "
+                             "out across them (default: 1 = serial; same "
+                             "results either way)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base workload seed (default: 0); repeats "
+                             "use seed, seed+1, ...")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each figure N times at consecutive "
+                             "seeds and average numeric cells "
+                             "(default: 1)")
     parser.add_argument("--json-dir", default=".",
                         help="directory for BENCH_<figure>.json outputs "
                              "(default: current directory)")
@@ -29,8 +40,8 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", action="store_true",
                         help="enable simulation tracing: print the "
                              "utilization/timeline report and export "
-                             "TRACE_<figure>_<n>.json (Chrome-trace "
-                             "format) per cluster built")
+                             "TRACE_<figure>_s<seed>_<n>.json "
+                             "(Chrome-trace format) per cluster built")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -39,29 +50,26 @@ def main(argv=None) -> int:
             print(f"  {name}")
         return 0
 
-    set_tracing(args.trace)
     targets = sorted(REGISTRY) if args.target == "all" else [args.target]
-    for name in targets:
-        start = time.perf_counter()
-        result = run_figure(name, scale=args.scale)
-        elapsed = time.perf_counter() - start
-        print(result.render())
+    start = time.perf_counter()
+    runs = run_targets(targets, args.scale, seed=args.seed,
+                       repeat=args.repeat, jobs=args.jobs,
+                       trace=args.trace, trace_dir=args.json_dir)
+    total = time.perf_counter() - start
+    for run in runs:
+        print(run.result.render())
         if not args.no_json:
-            path = result.write_json(args.json_dir)
+            path = run.result.write_json(args.json_dir)
             print(f"[wrote {path}]")
-        if args.trace:
-            from ..obs.export import render_report, write_chrome_trace
-            import os
-            for i, obs in enumerate(drain_trace_bundles()):
-                print()
-                print(f"--- trace report: {name} cluster #{i} ---")
-                print(render_report(obs))
-                trace_path = os.path.join(args.json_dir,
-                                          f"TRACE_{name}_{i}.json")
-                write_chrome_trace(obs, trace_path)
-                print(f"[wrote {trace_path}]")
-        print(f"[{name}: {elapsed:.1f}s wall at scale={args.scale}]")
+        for report in run.trace_reports:
+            print()
+            print(report)
+        print(f"[{run.name}: {run.cpu_seconds:.1f}s worker wall at "
+              f"scale={args.scale}]")
         print()
+    if len(runs) > 1 or args.jobs > 1:
+        print(f"[total: {total:.1f}s wall, jobs={args.jobs}, "
+              f"seed={args.seed}, repeat={args.repeat}]")
     return 0
 
 

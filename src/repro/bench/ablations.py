@@ -16,6 +16,7 @@ from __future__ import annotations
 from ..workloads import WorkloadRunner, load_ops
 from .common import (
     FigureResult,
+    bench_seed,
     Scale,
     build_cluster,
     load_micro,
@@ -48,7 +49,8 @@ def run_ablation_parallel_recovery(scale: Scale) -> FigureResult:
         runner = WorkloadRunner(cluster)
         from .fig_recovery import recovery_keys
         keys = recovery_keys(scale, blocks_per_client=4.0)
-        runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64)
+        runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64,
+                              seed=bench_seed())
                      for c in cluster.clients])
         cluster.run(cluster.env.now + 0.2)
         report = crash_recover_report(cluster)
@@ -80,7 +82,7 @@ def run_ablation_pipeline(scale: Scale) -> FigureResult:
         cluster = build_cluster("aceso", scale, mutate=mutate)
         runner = WorkloadRunner(cluster)
         runner.load([load_ops(c.cli_id, scale.keys_per_client,
-                              scale.kv_size - 64)
+                              scale.kv_size - 64, seed=bench_seed())
                      for c in cluster.clients])
         cluster.run(cluster.env.now + 0.2)
         report = crash_recover_report(cluster)

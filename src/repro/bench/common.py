@@ -36,9 +36,25 @@ from ..workloads import (
 
 __all__ = ["FigureResult", "Scale", "SCALES", "build_cluster",
            "micro_throughput", "run_mix", "format_table",
-           "set_tracing", "drain_trace_bundles"]
+           "set_tracing", "drain_trace_bundles", "set_seed", "bench_seed",
+           "average_results"]
 
 OPS = ("INSERT", "UPDATE", "SEARCH", "DELETE")
+
+#: Base RNG seed for workload generation (``--seed``).  Every stream and
+#: load-phase constructor in the harness derives its per-client RNG from
+#: this, so two runs with the same seed are op-for-op identical.
+_BENCH_SEED = 0
+
+
+def set_seed(seed: int) -> None:
+    global _BENCH_SEED
+    _BENCH_SEED = int(seed)
+
+
+def bench_seed() -> int:
+    """The harness-wide workload seed (set by ``--seed``, default 0)."""
+    return _BENCH_SEED
 
 #: Opt-in tracing for benchmark runs (``--trace``): when enabled, every
 #: cluster built without an explicit ``obs`` gets a fresh enabled bundle,
@@ -113,6 +129,8 @@ class FigureResult:
     notes: str = ""
     #: Headline shape checks: [{"check", "ok", "detail"}, ...].
     verdicts: List[Dict] = field(default_factory=list)
+    #: Run provenance (seed, scale, repeat count, checkpoint codec, ...).
+    meta: Dict = field(default_factory=dict)
 
     def add(self, **row) -> None:
         self.rows.append(row)
@@ -167,6 +185,7 @@ class FigureResult:
             "verdicts": list(self.verdicts),
             "shape_ok": all(v["ok"] for v in self.verdicts)
             if self.verdicts else None,
+            "meta": dict(self.meta),
         }
 
     def write_json(self, directory: str = ".") -> str:
@@ -242,7 +261,7 @@ def build_cluster(system: str, scale: Scale, *, replication_factor: int = 3,
 def load_micro(cluster, scale: Scale) -> WorkloadRunner:
     runner = WorkloadRunner(cluster)
     runner.load([load_ops(c.cli_id, scale.keys_per_client,
-                          scale.kv_size - 64)
+                          scale.kv_size - 64, seed=_BENCH_SEED)
                  for c in cluster.clients])
     return runner
 
@@ -253,7 +272,7 @@ def micro_throughput(cluster, scale: Scale, op: str,
     if runner is None:
         runner = load_micro(cluster, scale)
     streams = [micro_stream(op, c.cli_id, scale.keys_per_client,
-                            scale.kv_size - 64)
+                            scale.kv_size - 64, seed=_BENCH_SEED)
                for c in cluster.clients]
     return runner.measure(streams, duration=scale.duration,
                           warmup=scale.warmup)
@@ -266,7 +285,7 @@ def run_mix(cluster, scale: Scale, stream_factory: Callable[[int], Iterator],
     if load_shared:
         runner.load([
             ycsb_load_ops(c.cli_id, len(cluster.clients), scale.total_keys,
-                          scale.kv_size - 64)
+                          scale.kv_size - 64, seed=_BENCH_SEED)
             for c in cluster.clients
         ])
     streams = [stream_factory(c.cli_id) for c in cluster.clients]
@@ -278,11 +297,48 @@ def ycsb_result(cluster, scale: Scale, workload: str):
     return run_mix(cluster, scale,
                    lambda cli_id: ycsb_stream(workload, cli_id,
                                               scale.total_keys,
-                                              scale.kv_size - 64))
+                                              scale.kv_size - 64,
+                                              seed=_BENCH_SEED))
 
 
 def twitter_result(cluster, scale: Scale, trace: str):
     return run_mix(cluster, scale,
                    lambda cli_id: twitter_stream(trace, cli_id,
                                                  scale.total_keys,
-                                                 scale.kv_size - 64))
+                                                 scale.kv_size - 64,
+                                                 seed=_BENCH_SEED))
+
+
+def average_results(results: Sequence[FigureResult]) -> FigureResult:
+    """Fold ``--repeat`` runs of one figure into a single result.
+
+    Numeric cells are averaged positionally across the repeats (every
+    repeat regenerates the same row skeleton, only measurements differ);
+    non-numeric cells come from the first run.  A shape verdict passes
+    only if it passed in every repeat.
+    """
+    first = results[0]
+    if len(results) == 1:
+        return first
+    merged = FigureResult(figure=first.figure, title=first.title,
+                          columns=list(first.columns), notes=first.notes,
+                          meta=dict(first.meta))
+    for i, row in enumerate(first.rows):
+        out = {}
+        for key, value in row.items():
+            cells = [r.rows[i].get(key) for r in results]
+            if (isinstance(value, (int, float)) and not isinstance(value, bool)
+                    and all(isinstance(c, (int, float))
+                            and not isinstance(c, bool) for c in cells)):
+                out[key] = sum(cells) / len(cells)
+            else:
+                out[key] = value
+        merged.rows.append(out)
+    for i, verdict in enumerate(first.verdicts):
+        oks = [r.verdicts[i]["ok"] for r in results if i < len(r.verdicts)]
+        merged.verdicts.append({
+            "check": verdict["check"],
+            "ok": all(oks),
+            "detail": verdict["detail"] + f" [x{len(results)} repeats]",
+        })
+    return merged

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..workloads import WorkloadRunner, load_ops
 from .common import (
     FigureResult,
+    bench_seed,
     Scale,
     build_cluster,
     load_micro,
@@ -52,7 +53,7 @@ def run_fig20(scale: Scale) -> FigureResult:
             mutate(cfg), setattr(cfg.checkpoint, "interval", 0.02))[0])
         runner2 = WorkloadRunner(cluster2)
         runner2.load([load_ops(c.cli_id, scale.keys_per_client,
-                               scale.kv_size - 64)
+                               scale.kv_size - 64, seed=bench_seed())
                       for c in cluster2.clients])
         cluster2.run(cluster2.env.now + 0.2)
         report = crash_recover_report(cluster2)

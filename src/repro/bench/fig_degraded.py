@@ -16,6 +16,7 @@ from ..cluster.master import MnState
 from ..workloads import WorkloadRunner, load_ops, micro_stream
 from .common import (
     FigureResult,
+    bench_seed,
     Scale,
     build_cluster,
     load_micro,
@@ -28,7 +29,8 @@ _VICTIM = 2
 
 
 def _search_streams(cluster, scale, keys):
-    return [micro_stream("SEARCH", c.cli_id, keys, scale.kv_size - 64)
+    return [micro_stream("SEARCH", c.cli_id, keys, scale.kv_size - 64,
+                         seed=bench_seed())
             for c in cluster.clients]
 
 
@@ -44,7 +46,8 @@ def _degraded_search(scale: Scale, result: FigureResult) -> None:
     # can be "lost but reconstructible", which is what degraded reads do.
     keys = recovery_keys(scale, blocks_per_client=3.0)
     runner = WorkloadRunner(cluster)
-    runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64)
+    runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64,
+                          seed=bench_seed())
                  for c in cluster.clients])
     # Let several checkpoint rounds pass so most blocks predate the
     # checkpoint: those stay lost until the (held) Block phase, which is
@@ -107,7 +110,7 @@ def _reclaimed_update(scale: Scale, result: FigureResult) -> None:
     tight = build_cluster("aceso", scale, mutate=mutate)
     trunner = load_micro(tight, scale)
     streams = [micro_stream("UPDATE", c.cli_id, scale.keys_per_client,
-                            scale.kv_size - 64)
+                            scale.kv_size - 64, seed=bench_seed())
                for c in tight.clients]
     for _churn in range(30):
         trunner.measure(streams, duration=scale.duration)
@@ -115,7 +118,8 @@ def _reclaimed_update(scale: Scale, result: FigureResult) -> None:
             break
     special = trunner.measure(
         [micro_stream("UPDATE", c.cli_id, scale.keys_per_client,
-                      scale.kv_size - 64) for c in tight.clients],
+                      scale.kv_size - 64, seed=bench_seed())
+         for c in tight.clients],
         duration=scale.duration * 2,
     )
     n_mops = normal.throughput("UPDATE") / 1e6

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..workloads import mix_stream
 from .common import (
     FigureResult,
+    bench_seed,
     Scale,
     build_cluster,
     run_mix,
@@ -103,7 +104,8 @@ def run_fig15(scale: Scale) -> FigureResult:
             res = run_mix(
                 cluster, scale,
                 lambda cli_id: mix_stream(mix, cli_id, scale.total_keys,
-                                          scale.kv_size - 64),
+                                          scale.kv_size - 64,
+                                          seed=bench_seed()),
             )
             result.add(update_ratio=ratio, system=system,
                        mops=res.total_ops / res.duration / 1e6)

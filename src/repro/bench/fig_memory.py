@@ -12,7 +12,7 @@ overall ~44% total space saving.
 from __future__ import annotations
 
 from ..workloads import WorkloadRunner, load_ops
-from .common import FigureResult, Scale, build_cluster
+from .common import FigureResult, Scale, bench_seed, build_cluster
 
 __all__ = ["run_fig12"]
 
@@ -40,7 +40,8 @@ def run_fig12(scale: Scale) -> FigureResult:
 
         cluster = build_cluster(system, scale, mutate=mutate)
         runner = WorkloadRunner(cluster)
-        runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64)
+        runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64,
+                              seed=bench_seed())
                      for c in cluster.clients])
         cluster.run(cluster.env.now + 0.05)  # drain seals/folds
         dist = cluster.memory_distribution()

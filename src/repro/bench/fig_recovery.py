@@ -16,7 +16,7 @@ import numpy as np
 from ..cluster.master import MnState
 from ..ec.stripe import make_codec
 from ..workloads import WorkloadRunner, load_ops
-from .common import FigureResult, Scale, build_cluster
+from .common import FigureResult, Scale, bench_seed, build_cluster
 
 __all__ = ["run_tab02", "run_fig16", "run_fig18", "crash_recover_report",
            "encode_throughput"]
@@ -43,7 +43,8 @@ def _loaded_cluster(scale: Scale, mutate=None, keys_factor: float = 1.0,
     cluster = build_cluster("aceso", scale, mutate=mutate)
     runner = WorkloadRunner(cluster)
     keys = int(recovery_keys(scale) * keys_factor)
-    runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64)
+    runner.load([load_ops(c.cli_id, keys, scale.kv_size - 64,
+                          seed=bench_seed())
                  for c in cluster.clients])
     cluster.run(cluster.env.now + settle)  # seal/fold + checkpoint rounds
     return cluster
@@ -167,7 +168,8 @@ def run_fig18(scale: Scale) -> FigureResult:
         runner = WorkloadRunner(cluster)
         keys = recovery_keys(scale)
         runner.measure(
-            [micro_stream("UPDATE", c.cli_id, keys, scale.kv_size - 64)
+            [micro_stream("UPDATE", c.cli_id, keys, scale.kv_size - 64,
+                          seed=bench_seed())
              for c in cluster.clients],
             duration=max(interval * 1.2, 0.01),
         )

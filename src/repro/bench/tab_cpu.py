@@ -10,7 +10,8 @@ compute suffices.
 from __future__ import annotations
 
 from ..workloads import micro_stream
-from .common import FigureResult, Scale, build_cluster, load_micro
+from .common import (FigureResult, Scale, bench_seed, build_cluster,
+                     load_micro)
 
 __all__ = ["run_tab03"]
 
@@ -36,7 +37,7 @@ def run_tab03(scale: Scale) -> FigureResult:
             core.reset_accounting()
     start = cluster.env.now
     streams = [micro_stream("UPDATE", c.cli_id, scale.keys_per_client,
-                            scale.kv_size - 64)
+                            scale.kv_size - 64, seed=bench_seed())
                for c in cluster.clients]
     runner.measure(streams, duration=scale.duration * 4)
     window = cluster.env.now - start

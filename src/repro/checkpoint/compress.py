@@ -1,9 +1,10 @@
 """Pluggable compression for checkpoint deltas.
 
 The paper uses LZ4 for its speed and notes the algorithm is orthogonal to
-the design.  LZ4 is not available offline, so the default is zlib at level
-1 — the same role (fast byte-stream compression of a mostly-zero XOR
-delta); a null compressor is provided for ablations.
+the design.  When the ``lz4`` package is importable the ``"lz4"`` codec
+(and the ``"auto"`` default) binds to the real thing; offline images fall
+back to zlib at level 1 — the same role (fast byte-stream compression of
+a mostly-zero XOR delta).  A null compressor is provided for ablations.
 """
 
 from __future__ import annotations
@@ -13,7 +14,13 @@ import zlib
 
 from ..errors import ConfigError
 
-__all__ = ["Compressor", "ZlibCompressor", "NullCompressor", "make_compressor"]
+try:  # optional accelerator; never installed by us (see ISSUE constraints)
+    import lz4.frame as _lz4frame
+except ImportError:  # pragma: no cover - depends on host image
+    _lz4frame = None
+
+__all__ = ["Compressor", "ZlibCompressor", "Lz4Compressor", "NullCompressor",
+           "make_compressor", "default_codec_name"]
 
 
 class Compressor(abc.ABC):
@@ -46,6 +53,22 @@ class ZlibCompressor(Compressor):
         return zlib.decompress(data)
 
 
+class Lz4Compressor(Compressor):
+    """The paper's actual codec; available only when ``lz4`` is installed."""
+
+    name = "lz4"
+
+    def __init__(self):
+        if _lz4frame is None:
+            raise ConfigError("lz4 is not installed on this host")
+
+    def compress(self, data: bytes) -> bytes:
+        return _lz4frame.compress(data)
+
+    def decompress(self, data: bytes) -> bytes:
+        return _lz4frame.decompress(data)
+
+
 class NullCompressor(Compressor):
     """Identity "compression" — the no-compression ablation."""
 
@@ -58,7 +81,18 @@ class NullCompressor(Compressor):
         return bytes(data)
 
 
+def default_codec_name(level: int = 1) -> str:
+    """The codec an ``"auto"`` config resolves to on this host (reported
+    in benchmark metadata so results are comparable across machines)."""
+    return "lz4" if _lz4frame is not None else f"zlib{level}"
+
+
 def make_compressor(name: str, level: int = 1) -> Compressor:
+    if name == "auto":
+        return Lz4Compressor() if _lz4frame is not None \
+            else ZlibCompressor(level)
+    if name == "lz4":
+        return Lz4Compressor()
     if name == "zlib":
         return ZlibCompressor(level)
     if name == "none":

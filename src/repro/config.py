@@ -124,7 +124,10 @@ class CheckpointConfig:
     """Differential index checkpointing (§3.2.1)."""
 
     interval: float = 0.5             # seconds between rounds (paper: 500 ms)
-    compression: str = "zlib"         # "zlib" (LZ4 stand-in), "none"
+    #: "auto" binds to real LZ4 when the ``lz4`` package is importable and
+    #: falls back to zlib at ``compression_level``; "zlib"/"lz4"/"none"
+    #: force a codec.  The resolved name lands in bench metadata.
+    compression: str = "auto"
     compression_level: int = 1
     #: Extra bytes appended to every shipped checkpoint (Fig. 1b's
     #: bandwidth-interference experiment varies this).

@@ -21,6 +21,7 @@ P-parity server and rebuilds just the slot region element-wise.
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..checkpoint.differential import xor_bytes
@@ -33,7 +34,7 @@ from ..errors import (
     RetryBudgetExceeded,
 )
 from ..index.cache import CacheEntry, IndexCache
-from ..index.hashing import fingerprint8, home_of
+from ..index.hashing import fingerprint8, hash64, home_of
 from ..index.slot import (
     INVALID_SLOT_VERSION,
     AtomicField,
@@ -65,6 +66,10 @@ LOCK_TIMEOUT = 500e-6
 LOCK_POLL = 50e-6
 #: Slots left in the open block when the next one is allocated ahead.
 PREFETCH_MARGIN = 8
+
+#: Precompiled slot layouts for bucket decoding (hot read path).
+_WIDE_SLOT = struct.Struct("<QQ")
+_COMPACT_SLOT = struct.Struct("<Q")
 
 
 class AcesoClient:
@@ -276,14 +281,9 @@ class AcesoClient:
     def _bucket_words(self, raw: bytes) -> List[Tuple[int, int]]:
         """(atomic, meta) word pairs of a raw bucket image (meta = 0 when
         slots are compact)."""
-        slot_size = 16 if self.wide else 8
-        out = []
-        for off in range(0, len(raw), slot_size):
-            atomic = int.from_bytes(raw[off:off + 8], "little")
-            meta = (int.from_bytes(raw[off + 8:off + 16], "little")
-                    if self.wide else 0)
-            out.append((atomic, meta))
-        return out
+        if self.wide:
+            return list(_WIDE_SLOT.iter_unpack(raw))
+        return [(atomic, 0) for (atomic,) in _COMPACT_SLOT.iter_unpack(raw)]
 
     # ------------------------------------------------------------------
     # SEARCH path
@@ -749,7 +749,6 @@ class AcesoClient:
             raise IndexFullError(f"no free slot for {key!r}")
         # Spread concurrent inserts across the free positions (picking the
         # first free slot would make unrelated keys contend on one CAS).
-        from ..index.hashing import hash64
         bucket, slot = free[hash64(key, b"slotpick") % len(free)]
         return bucket, slot, 0, 0, True
 

@@ -9,13 +9,19 @@ keyed blake2b digests rather than Python's randomized ``hash``.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Tuple
 
 __all__ = ["hash64", "fingerprint8", "bucket_pair", "home_of"]
 
 
+@lru_cache(maxsize=1 << 16)
 def hash64(key: bytes, salt: bytes = b"") -> int:
-    """64-bit stable hash of *key* under *salt* (distinct hash families)."""
+    """64-bit stable hash of *key* under *salt* (distinct hash families).
+
+    Cached: workload key popularity is zipfian, so the same (key, salt)
+    pairs recur constantly on the op hot path, and the digest is pure.
+    """
     digest = hashlib.blake2b(key, digest_size=8, person=salt[:16]).digest()
     return int.from_bytes(digest, "little")
 

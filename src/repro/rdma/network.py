@@ -18,9 +18,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import NodeFailedError
-from ..sim import Environment, Event
+from ..sim import Deferred, Environment, Event
 from .nic import RNIC
-from .verbs import Opcode, Verb
+from .verbs import WIRE_HEADER, Opcode, Verb
 
 __all__ = ["Fabric"]
 
@@ -61,13 +61,71 @@ class Fabric:
 
     # -- posting -----------------------------------------------------------
 
+    def _dead_post(self, dst: RNIC, rtt: float) -> Event:
+        """Destination already dead: the QP errors out after a timeout on
+        the order of an RTT."""
+        node_id = dst.node_id
+
+        def raise_dead():
+            raise NodeFailedError(node_id, "post")
+
+        return Deferred(self.env, self.env.now + rtt, raise_dead)
+
     def post(self, src: RNIC, dst: RNIC, verb: Verb,
              traffic_class: str = "client",
              track: Optional[str] = None) -> Event:
         """Post one verb; the returned event triggers with ``verb.execute()``'s
-        result (or ``None``) at completion time."""
-        return self.post_batch(src, dst, [verb], traffic_class=traffic_class,
-                               track=track)
+        result (or ``None``) at completion time.
+
+        This is the hot path (millions of calls per simulated second), so
+        it avoids the batch machinery: memoized service times, direct FIFO
+        completion-time arithmetic on both NICs, and a single scheduled
+        :class:`Deferred` that runs the verb's side effect at completion.
+        """
+        env = self.env
+        rtt = src.config.rtt
+        alive = self._alive
+        if not alive.get(dst.node_id, False):
+            return self._dead_post(dst, rtt)
+
+        wire = verb.payload + WIRE_HEADER
+        if verb.opcode.is_atomic:
+            # The destination performs a PCIe read-modify-write.
+            dst_key = (wire, 0, 1)
+        else:
+            dst_key = (wire, 1, 0)
+        dst_service = dst._svc_cache.get(dst_key)
+        if dst_service is None:
+            dst_service = dst.service_time(wire, doorbells=dst_key[1],
+                                           atomics=dst_key[2])
+        src_key = (verb.src_size(src.config.inline_max), 1, 0)
+        src_service = src._svc_cache.get(src_key)
+        if src_service is None:
+            src_service = src.service_time(src_key[0])
+        bbc = self.bytes_by_class
+        bbc[traffic_class] = bbc.get(traffic_class, 0) + wire
+
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            return self._post_traced(src, dst, [verb], src_service,
+                                     dst_service, wire, traffic_class, track)
+
+        # Per-side completion instants re-based through ``now`` exactly the
+        # way the event-per-side path computed them (``now + delay``), so
+        # timestamps are bit-identical to the unfused engine.
+        now = env.now
+        t_src = now + (src._pipe.submit_at(src_service) - now)
+        t_dst = now + (dst._pipe.submit_at(dst_service) - now)
+        t_done = (t_src if t_src > t_dst else t_dst) + rtt
+        execute = verb.execute
+        dst_id = dst.node_id
+
+        def finish():
+            if not alive.get(dst_id, False):
+                raise NodeFailedError(dst_id, "in flight")
+            return execute() if execute is not None else None
+
+        return Deferred(env, t_done, finish)
 
     def post_batch(self, src: RNIC, dst: RNIC, verbs: Sequence[Verb],
                    traffic_class: str = "client",
@@ -85,63 +143,82 @@ class Fabric:
         """
         if not verbs:
             raise ValueError("empty verb batch")
+        if len(verbs) == 1:
+            return self.post(src, dst, verbs[0],
+                             traffic_class=traffic_class, track=track)
         env = self.env
-        done = env.event()
         rtt = src.config.rtt
-        obs = self.obs
-        tracer = obs.tracer if obs is not None and obs.enabled else None
-
-        if not self._alive.get(dst.node_id, False):
-            # Destination already dead: the QP errors out after a timeout
-            # on the order of an RTT.
-            env.timeout(rtt).add_callback(
-                lambda _ev: done.fail(NodeFailedError(dst.node_id, "post"))
-            )
-            return done
+        alive = self._alive
+        if not alive.get(dst.node_id, False):
+            return self._dead_post(dst, rtt)
 
         inline_max = src.config.inline_max
-        src_bytes = sum(
-            max(v.request_size(inline_max), v.response_size()) for v in verbs
-        )
+        src_bytes = 0
         dst_bytes = 0
         dst_service = 0.0
+        dst_cache = dst._svc_cache
         for v in verbs:
-            wire = v.wire_size()
+            src_bytes += v.src_size(inline_max)
+            wire = v.payload + WIRE_HEADER
             dst_bytes += wire
-            if v.opcode.is_atomic:
-                # The destination performs a PCIe read-modify-write.
-                dst_service += dst.service_time(wire, doorbells=0, atomics=1)
-            else:
-                dst_service += dst.service_time(wire)
-        self.bytes_by_class[traffic_class] = (
-            self.bytes_by_class.get(traffic_class, 0) + dst_bytes
-        )
+            key = (wire, 0, 1) if v.opcode.is_atomic else (wire, 1, 0)
+            svc = dst_cache.get(key)
+            if svc is None:
+                svc = dst.service_time(wire, doorbells=key[1],
+                                       atomics=key[2])
+            dst_service += svc
+        bbc = self.bytes_by_class
+        bbc[traffic_class] = bbc.get(traffic_class, 0) + dst_bytes
         doorbells = 1 if src.config.doorbell_batching else len(verbs)
         src_service = src.service_time(src_bytes, doorbells=doorbells)
-        if tracer is not None:
-            obs.metrics.add(f"bytes.{traffic_class}", dst_bytes)
-            if any(v.opcode != Opcode.READ for v in verbs):
-                # Write-path occupancy per side — the series behind the
-                # paper's §2.4 asymmetry (writes are MN-IOPS-bound).
-                obs.metrics.add(f"nic.{src.obs_label}.wbusy", src_service)
-                obs.metrics.add(f"nic.{dst.obs_label}.wbusy", dst_service)
-            # Captured before submission: the queueing delay a new group
-            # sees is the backlog already in the FIFOs, which separates
-            # wait from service in the emitted span.
-            t_post = env.now
-            queue_wait = max(src.backlog(), dst.backlog())
 
-        src_ev = src.submit_time(src_service)
-        dst_ev = dst.submit_time(dst_service)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            return self._post_traced(src, dst, verbs, src_service,
+                                     dst_service, dst_bytes, traffic_class,
+                                     track)
 
+        now = env.now
+        t_src = now + (src._pipe.submit_at(src_service) - now)
+        t_dst = now + (dst._pipe.submit_at(dst_service) - now)
+        t_done = (t_src if t_src > t_dst else t_dst) + rtt
+        dst_id = dst.node_id
+
+        def finish():
+            if not alive.get(dst_id, False):
+                raise NodeFailedError(dst_id, "in flight")
+            return [v.execute() if v.execute else None for v in verbs]
+
+        return Deferred(env, t_done, finish)
+
+    def _post_traced(self, src: RNIC, dst: RNIC, verbs: Sequence[Verb],
+                     src_service: float, dst_service: float, dst_bytes: int,
+                     traffic_class: str, track: Optional[str]) -> Event:
+        """The tracing-enabled post path: identical timing to the fast
+        path, plus per-NIC metrics and one verb span per group."""
+        env = self.env
+        obs = self.obs
+        tracer = obs.tracer
+        rtt = src.config.rtt
+        alive = self._alive
         single = len(verbs) == 1
-        pending = [2]
 
-        def on_side_done(_ev: Event) -> None:
-            pending[0] -= 1
-            if pending[0]:
-                return
-            env.timeout(rtt).add_callback(finish)
+        obs.metrics.add(f"bytes.{traffic_class}", dst_bytes)
+        if any(v.opcode != Opcode.READ for v in verbs):
+            # Write-path occupancy per side — the series behind the
+            # paper's §2.4 asymmetry (writes are MN-IOPS-bound).
+            obs.metrics.add(f"nic.{src.obs_label}.wbusy", src_service)
+            obs.metrics.add(f"nic.{dst.obs_label}.wbusy", dst_service)
+        # Captured before submission: the queueing delay a new group
+        # sees is the backlog already in the FIFOs, which separates
+        # wait from service in the emitted span.
+        t_post = env.now
+        queue_wait = max(src.backlog(), dst.backlog())
+
+        t_src = t_post + (src.occupy_at(src_service) - t_post)
+        t_dst = t_post + (dst.occupy_at(dst_service) - t_post)
+        t_done = (t_src if t_src > t_dst else t_dst) + rtt
+        dst_id = dst.node_id
 
         def trace_verb(error: str = "") -> None:
             name = (verbs[0].opcode.name if single
@@ -157,24 +234,15 @@ class Fabric:
             if error:
                 span.set(error=error)
 
-        def finish(_ev: Event) -> None:
-            if not self._alive.get(dst.node_id, False):
-                if tracer is not None:
-                    trace_verb(error="node failed in flight")
-                done.fail(NodeFailedError(dst.node_id, "in flight"))
-                return
-            try:
-                results = [v.execute() if v.execute else None for v in verbs]
-            except BaseException as exc:  # surface memory-model bugs loudly
-                done.fail(exc)
-                return
-            if tracer is not None:
-                trace_verb()
-            done.succeed(results[0] if single else results)
+        def finish():
+            if not alive.get(dst_id, False):
+                trace_verb(error="node failed in flight")
+                raise NodeFailedError(dst_id, "in flight")
+            results = [v.execute() if v.execute else None for v in verbs]
+            trace_verb()
+            return results[0] if single else results
 
-        src_ev.add_callback(on_side_done)
-        dst_ev.add_callback(on_side_done)
-        return done
+        return Deferred(env, t_done, finish)
 
     def transfer(self, src: RNIC, dst: RNIC, size: int, *,
                  chunk: int = 16 * 1024, execute=None,

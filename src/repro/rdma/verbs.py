@@ -15,7 +15,6 @@ The model keeps the distinctions the paper's analysis relies on:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 __all__ = ["Opcode", "Verb", "ATOMIC_SIZE", "WIRE_HEADER"]
@@ -35,12 +34,14 @@ class Opcode(enum.Enum):
     FAA = "faa"
     SEND = "send"
 
-    @property
-    def is_atomic(self) -> bool:
-        return self in (Opcode.CAS, Opcode.FAA)
+
+# ``is_atomic`` is consulted once per posted verb on the hot path; a plain
+# member attribute is one dict lookup instead of a property descriptor call.
+for _op in Opcode:
+    _op.is_atomic = _op in (Opcode.CAS, Opcode.FAA)
+del _op
 
 
-@dataclass
 class Verb:
     """One posted work request.
 
@@ -51,18 +52,33 @@ class Verb:
     conflict resolution faithful.
     """
 
-    opcode: Opcode
-    payload: int                                  # payload bytes
-    execute: Optional[Callable[[], Any]] = None   # side effect at completion
-    signaled: bool = True                         # selective signaling model
+    __slots__ = ("opcode", "payload", "execute", "signaled")
 
-    def __post_init__(self):
-        if self.opcode.is_atomic and self.payload != ATOMIC_SIZE:
+    def __init__(self, opcode: Opcode, payload: int,
+                 execute: Optional[Callable[[], Any]] = None,
+                 signaled: bool = True):
+        if opcode.is_atomic and payload != ATOMIC_SIZE:
             raise ValueError(
-                f"{self.opcode.value} must carry {ATOMIC_SIZE} bytes"
+                f"{opcode.value} must carry {ATOMIC_SIZE} bytes"
             )
-        if self.payload < 0:
+        if payload < 0:
             raise ValueError("negative payload")
+        self.opcode = opcode
+        self.payload = payload                # payload bytes
+        self.execute = execute                # side effect at completion
+        self.signaled = signaled              # selective signaling model
+
+    def __repr__(self) -> str:
+        return (f"Verb(opcode={self.opcode!r}, payload={self.payload!r}, "
+                f"execute={self.execute!r}, signaled={self.signaled!r})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Verb):
+            return NotImplemented
+        return (self.opcode is other.opcode
+                and self.payload == other.payload
+                and self.execute == other.execute
+                and self.signaled == other.signaled)
 
     def wire_size(self) -> int:
         """Bytes that traverse the wire (payload + headers)."""
@@ -81,12 +97,25 @@ class Verb:
             return WIRE_HEADER
         if self.opcode is Opcode.WRITE and self.payload <= inline_max:
             return WIRE_HEADER
-        return self.wire_size()
+        return self.payload + WIRE_HEADER
 
     def response_size(self) -> int:
         """Bytes flowing back to the source (READ data or an ACK)."""
         if self.opcode is Opcode.READ:
-            return self.wire_size()
+            return self.payload + WIRE_HEADER
         if self.opcode.is_atomic:
             return ATOMIC_SIZE + WIRE_HEADER
         return WIRE_HEADER  # ACK
+
+    def src_size(self, inline_max: int) -> int:
+        """``max(request_size, response_size)`` — the source-side occupancy
+        the Fabric charges once per message (computed branch-free per
+        opcode instead of taking the max of two calls)."""
+        op = self.opcode
+        if op is Opcode.READ:
+            return self.payload + WIRE_HEADER
+        if op.is_atomic:
+            return ATOMIC_SIZE + WIRE_HEADER
+        if op is Opcode.WRITE and self.payload <= inline_max:
+            return WIRE_HEADER
+        return self.payload + WIRE_HEADER

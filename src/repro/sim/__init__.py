@@ -3,6 +3,7 @@
 from .engine import (
     AllOf,
     AnyOf,
+    Deferred,
     Environment,
     Event,
     Interrupt,
@@ -16,6 +17,7 @@ from .stats import LatencyRecorder, OpStats, StatsRegistry, percentile
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Deferred",
     "Environment",
     "Event",
     "Interrupt",

@@ -19,6 +19,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Deferred",
     "Process",
     "AllOf",
     "AnyOf",
@@ -81,7 +82,8 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._queue_trigger(self)
+        env = self.env
+        heapq.heappush(env._heap, (env.now, next(env._seq), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -92,7 +94,8 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exc
-        self.env._queue_trigger(self)
+        env = self.env
+        heapq.heappush(env._heap, (env.now, next(env._seq), self))
         return self
 
     def _run_callbacks(self) -> None:
@@ -114,19 +117,72 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay."""
+    """An event that triggers after a fixed delay.
+
+    The constructor is a hot path (hundreds of thousands per simulated
+    second): it assigns every slot directly and pushes onto the heap
+    inline rather than chaining through ``Event.__init__`` and
+    ``Environment._schedule``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self.delay = delay
+        heapq.heappush(env._heap, (env.now + delay, next(env._seq), self))
+
+
+class Deferred(Event):
+    """An event that *resolves* at a scheduled future time.
+
+    Where a :class:`Timeout` carries a preset value, a Deferred runs its
+    ``resolver`` when dispatched: the return value succeeds the event, a
+    raised exception fails it.  Callbacks then run in the same dispatch —
+    one heap entry covers schedule + resolution + callback fan-out, which
+    is what makes it the fast path for RDMA verb completions (the old
+    shape was two NIC-drain timeouts, an RTT timeout, and a separate
+    trigger push for the result event).
+
+    Unlike a Timeout, a Deferred stays untriggered until dispatch, so
+    ``triggered``/``value`` behave like a plain :class:`Event`.
+    """
+
+    __slots__ = ("_resolver",)
+
+    def __init__(self, env: "Environment", at: float,
+                 resolver: Callable[[], Any]):
+        """Schedule resolution at *absolute* simulated time ``at`` (callers
+        computing FIFO completion times already hold the absolute instant;
+        round-tripping through a delay would perturb the float)."""
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._resolver = resolver
+        heapq.heappush(env._heap, (at, next(env._seq), self))
+
+    def _run_callbacks(self) -> None:
+        try:
+            value = self._resolver()
+            ok = True
+        except BaseException as exc:
+            value = exc
+            ok = False
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
 
 class Process(Event):
@@ -289,6 +345,15 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def defer(self, delay: float, fn: Callable[[Event], None],
+              value: Any = None) -> Timeout:
+        """Schedule *fn* to run after *delay* (fast path for the common
+        "timeout + single callback" pattern: the callback is seeded at
+        construction, skipping the ``add_callback`` round-trip)."""
+        ev = Timeout(self, delay, value)
+        ev.callbacks.append(fn)
+        return ev
+
     def event(self) -> Event:
         return Event(self)
 
@@ -308,14 +373,15 @@ class Environment:
         if the queue drains earlier (so throughput windows are well-defined).
         """
         heap = self._heap
+        pop = heapq.heappop
         if until is None:
             while heap:
-                when, __, event = heapq.heappop(heap)
+                when, __, event = pop(heap)
                 self.now = when
                 event._run_callbacks()
             return
         while heap and heap[0][0] <= until:
-            when, __, event = heapq.heappop(heap)
+            when, __, event = pop(heap)
             self.now = when
             event._run_callbacks()
         self.now = max(self.now, until)

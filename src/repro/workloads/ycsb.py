@@ -12,6 +12,8 @@ built for.
 from __future__ import annotations
 
 import random
+from bisect import bisect
+from itertools import accumulate
 from typing import Iterator, Tuple
 
 from .micro import Op
@@ -69,14 +71,21 @@ def mix_stream(mix: dict, cli_id: int, total_keys: int, value_size: int,
         raise ValueError(f"mix probabilities sum to {sum(mix.values())}")
     rng = random.Random((seed << 20) | (cli_id * 7919 + 13))
     verbs = sorted(mix)
-    weights = [mix[v] for v in verbs]
+    # Inlined ``rng.choices(verbs, weights)[0]``: same bisect over the
+    # cumulative weights, same single random() draw (so the RNG sequence —
+    # and thus every seeded run — is unchanged), without rebuilding the
+    # cumulative table on every op.
+    cum_weights = list(accumulate(mix[v] for v in verbs))
+    total = cum_weights[-1]
+    hi = len(cum_weights) - 1
+    rand = rng.random
     if latest:
         gen = LatestGenerator(total_keys, rng=rng)
     else:
         gen = ScrambledZipfian(total_keys, theta, rng=rng)
     insert_seq = 0
     while True:
-        verb = rng.choices(verbs, weights)[0]
+        verb = verbs[bisect(cum_weights, rand() * total, 0, hi)]
         if verb == "INSERT":
             if latest:
                 index = gen.grow()

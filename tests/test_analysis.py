@@ -69,6 +69,7 @@ def test_report_renders():
     assert "UPDATE" in report and "Mops" in report
 
 
+@pytest.mark.slow
 def test_model_agrees_with_simulator_at_saturation():
     """The simulator's measured UPDATE throughput lands within 2x of the
     analytic capacity, and well below it (queueing + background work)."""
@@ -85,6 +86,7 @@ def test_model_agrees_with_simulator_at_saturation():
     assert measured > predicted * 0.3
 
 
+@pytest.mark.slow
 def test_model_predicts_fig8_ordering():
     """The analytic ratio and the simulated ratio agree on who wins."""
     ratios = predicted_ratios(aceso_config(**small_kwargs()),

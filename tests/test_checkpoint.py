@@ -12,6 +12,7 @@ from repro.checkpoint import (
     make_compressor,
     xor_bytes,
 )
+from repro.checkpoint.compress import default_codec_name
 from repro.errors import ConfigError
 
 
@@ -66,9 +67,25 @@ def test_make_compressor():
     assert make_compressor("zlib", 3).name == "zlib3"
     assert make_compressor("none").name == "none"
     with pytest.raises(ConfigError):
-        make_compressor("lz4")
+        make_compressor("bogus")
     with pytest.raises(ConfigError):
         make_compressor("zlib", 42)
+
+
+def test_auto_codec_matches_host():
+    """"auto" binds to lz4 when importable, zlib otherwise — and always
+    round-trips; bench metadata reports the resolved name."""
+    comp = make_compressor("auto", 1)
+    assert comp.name == default_codec_name(1)
+    data = b"\x00" * 4096 + b"delta" * 17
+    assert comp.decompress(comp.compress(data)) == data
+    try:
+        import lz4.frame  # noqa: F401
+        assert comp.name == "lz4"
+    except ImportError:
+        assert comp.name == "zlib1"
+        with pytest.raises(ConfigError):
+            make_compressor("lz4")
 
 
 # ---------------------------------------------------------------- pipeline

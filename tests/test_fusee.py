@@ -113,6 +113,7 @@ def test_more_replicas_slower_writes():
     assert results[3] < results[1] * 0.8
 
 
+@pytest.mark.slow
 def test_search_unaffected_by_replicas():
     """Fig. 1a: SEARCH needs no CAS; replica count barely matters."""
     results = {}

@@ -114,6 +114,7 @@ def test_invariants_after_bulk_load():
     assert check_invariants(cluster) == []
 
 
+@pytest.mark.slow
 def test_invariants_after_mixed_churn():
     cluster = make_aceso(num_cns=2, clients_per_cn=2, blocks_per_mn=96)
     runner = WorkloadRunner(cluster)

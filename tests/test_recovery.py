@@ -144,6 +144,7 @@ def test_recovery_without_checkpoint_image():
     assert verify(cluster, expected) == []
 
 
+@pytest.mark.slow
 def test_crash_during_traffic_and_degraded_reads():
     cluster, runner, n = loaded_cluster(blocks_per_mn=128)
     from repro.cluster.failures import FailureInjector
