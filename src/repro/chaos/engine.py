@@ -1,0 +1,429 @@
+"""The chaos scenario engine.
+
+Compiles a :class:`~repro.chaos.scenarios.ScenarioSpec` into a live run:
+
+1. build a small Aceso cluster and load a per-client key population;
+2. optionally flush (seal) every open block;
+3. snapshot per-key slot versions (the monotonicity baseline);
+4. arm the scenario's actions — injector faults plus engine-level ones
+   (lock leaks, takeover touches), each behind its trigger gates;
+5. drive seeded background traffic while the faults fire, recording
+   every acknowledged write into the client-visible :class:`History`;
+6. quiesce — wait for every armed action, MN recovery, and CN rejoin;
+7. optionally drive a post-recovery traffic window;
+8. run the invariant oracle and emit a deterministic report with a
+   recovery timeline.
+
+Everything is derived from the seed and the virtual clock: a scenario
+report serialises byte-identically across runs, tracing on or off.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..cluster.failures import FailureEvent, FailureInjector
+from ..cluster.master import MnState
+from ..config import aceso_config
+from ..core.kvpair import parse_kv
+from ..core.store import AcesoCluster
+from ..errors import KeyNotFoundError, NodeFailedError, RetryBudgetExceeded
+from ..index.slot import MetaField
+from ..memory.address import GlobalAddress
+from ..obs import Observability
+from ..sim import Interrupt
+from ..workloads.micro import load_ops, micro_key
+from . import oracle
+from .scenarios import INJECTOR_KINDS, SCENARIOS, ChaosAction, ScenarioSpec
+
+__all__ = ["ChaosEngine", "run_scenario", "DEFAULT_GEOMETRY"]
+
+#: Small-cluster geometry shared with the test suite.
+DEFAULT_GEOMETRY = dict(num_cns=2, clients_per_cn=1, index_buckets=256,
+                        blocks_per_mn=64, kv_size=256, block_size=8 * 1024)
+
+_VALUE_SIZE = 180
+#: Key index used by leak_lock actions — far outside any loaded or
+#: freshly-inserted range.
+_LEAK_INDEX = 1 << 20
+
+_STAGE_ORDER = {
+    MnState.FAILED: 0,
+    MnState.META_RECOVERED: 1,
+    MnState.INDEX_RECOVERED: 2,
+    MnState.RECOVERED: 3,
+}
+
+
+class ChaosEngine:
+    """Runs one scenario once and produces an invariant report."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 1,
+                 obs: Optional[Observability] = None,
+                 geometry: Optional[dict] = None):
+        self.spec = spec
+        self.seed = seed
+        geo = dict(DEFAULT_GEOMETRY)
+        geo.update(spec.cluster)
+        if geometry:
+            geo.update(geometry)
+        cfg = aceso_config(**geo)
+        if spec.ckpt_interval > 0:
+            cfg.checkpoint.interval = spec.ckpt_interval
+        self.cluster = AcesoCluster(cfg, obs=obs)
+        self.env = self.cluster.env
+        self.cluster.master.auto_recover = spec.auto_recover_mn
+        self.injector = FailureInjector(self.env, self.cluster)
+        self.history = oracle.History()
+        self.action_log: List[tuple] = []   # (t, label) engine-level events
+        self._action_procs: List = []
+        self._stop = False
+        self._next_fresh: Dict[int, int] = {}
+        self._rejoined: set = set()
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self) -> dict:
+        spec = self.spec
+        self._load()
+        if spec.flush_before:
+            self._flush()
+        pre_versions, _ = oracle.walk_index(self.cluster)
+        t0 = self.env.now
+        for action in spec.actions:
+            self._action_procs.append(self.env.process(
+                self._trigger(t0, action),
+                name=f"chaos.{action.kind}",
+            ))
+        self._traffic(spec.duration, phase=1)
+        self._quiesce()
+        if spec.post_traffic > 0:
+            self._traffic(spec.post_traffic, phase=2)
+            self._quiesce()
+        self._settle(0.1)
+        checks, counters = oracle.evaluate(
+            self.cluster, self.history, pre_versions,
+            tolerate_unsealed_loss=spec.tolerate_unsealed_loss,
+            loss_bound=self._loss_bound(),
+        )
+        return self._report(checks, counters)
+
+    def _loss_bound(self) -> int:
+        """Worst-case unsealed-tail exposure: every open (or prefetched)
+        block of every client full of unflushed writes."""
+        cluster = self.cluster.config.cluster
+        slots = max(1, cluster.block_size // cluster.kv_size)
+        return len(self.cluster.clients) * slots * 2
+
+    # -- phases --------------------------------------------------------------
+
+    def _load(self) -> None:
+        self.cluster.start()
+        procs = []
+        for client in self.cluster.clients:
+            ops = load_ops(client.cli_id, self.spec.keys_per_client,
+                           _VALUE_SIZE, seed=self.seed)
+            self._next_fresh[client.cli_id] = self.spec.keys_per_client
+            procs.append(self._spawn_driver(client, iter(ops)))
+        self._drain(procs)
+
+    def _flush(self) -> None:
+        """Seal every open block so no unsealed data enters the window."""
+        for client in self.cluster.clients:
+            if not client.alive:
+                continue
+            for block in list(client.blocks.all_open()):
+                if client.blocks.retire_if(block.size_class.slot_size,
+                                           block):
+                    client._seal_async(block)
+        self._settle(0.05)
+
+    def _traffic(self, duration: float, phase: int) -> None:
+        if duration <= 0:
+            return
+        self._stop = False
+        procs = []
+        drive = self.spec.drive_clients
+        for client in self.cluster.clients:
+            if not client.alive:
+                continue
+            if phase == 1 and drive is not None \
+                    and client.cli_id not in drive:
+                continue
+            procs.append(self._spawn_driver(
+                client, self._stream(client.cli_id, phase)))
+        self.env.run(until=self.env.now + duration)
+        self._stop = True
+        self._drain(procs)
+
+    def _quiesce(self, limit: float = 240.0) -> None:
+        """Advance time until every armed action has executed, every MN is
+        ALIVE or RECOVERED, and every failed CN has rejoined (engine-driven
+        once the MNs are settled, unless the spec says otherwise)."""
+        deadline = self.env.now + limit
+        master = self.cluster.master
+        rejoin_procs: List = []
+        while self.env.now < deadline:
+            mn_ok = all(
+                master.mn_state(i) in (MnState.ALIVE, MnState.RECOVERED)
+                for i in self.cluster.mns
+            )
+            if mn_ok and master.failed_cns and self.spec.rejoin_cns:
+                for node_id in sorted(master.failed_cns):
+                    if node_id not in self._rejoined:
+                        self._rejoined.add(node_id)
+                        self.action_log.append(
+                            (self.env.now, f"engine.rejoin_cn{node_id}"))
+                        rejoin_procs.extend(
+                            p for _c, p in self.cluster.rejoin_cn(node_id))
+            actions_done = all(not p.is_alive for p in self._action_procs)
+            rejoins_done = all(not p.is_alive for p in rejoin_procs)
+            if mn_ok and actions_done and rejoins_done \
+                    and not master.failed_cns:
+                return
+            self.cluster.run(self.env.now + 0.005)
+        raise AssertionError(
+            f"scenario {self.spec.name!r} failed to quiesce within "
+            f"{limit}s of simulated time"
+        )
+
+    def _settle(self, dt: float) -> None:
+        self.cluster.run(self.env.now + dt)
+
+    # -- traffic drivers -----------------------------------------------------
+
+    def _spawn_driver(self, client, ops):
+        proc = self.env.process(self._drive(client, ops),
+                                name=f"chaos.cli{client.cli_id}")
+        # Registered with the client so a CN crash interrupts the driver
+        # mid-operation (the orphaned-slot / torn-write case).
+        client._procs.append(proc)
+        return proc
+
+    def _drive(self, client, ops):
+        hist = self.history
+        for verb, key, value in ops:
+            if self._stop or not client.alive:
+                return
+            try:
+                if verb == "SEARCH":
+                    yield from client.search(key)
+                elif verb == "UPDATE":
+                    yield from client.update(key, value)
+                    hist.ack(key, value)
+                elif verb == "INSERT":
+                    yield from client.insert(key, value)
+                    hist.ack(key, value)
+                elif verb == "DELETE":
+                    yield from client.delete(key)
+                    hist.ack(key, None)
+                else:
+                    raise ValueError(f"unknown verb {verb!r}")
+            except KeyNotFoundError:
+                # Read miss, or a write that failed at the locate phase
+                # before mutating anything: a no-op.
+                if verb != "SEARCH":
+                    hist.reject(key)
+            except (RetryBudgetExceeded, NodeFailedError):
+                if verb != "SEARCH":
+                    hist.indeterminate(key,
+                                       None if verb == "DELETE" else value)
+            except Interrupt:
+                # The client's CN crashed mid-operation.
+                if verb != "SEARCH":
+                    hist.indeterminate(key,
+                                       None if verb == "DELETE" else value)
+                return
+
+    def _stream(self, cli_id: int, phase: int):
+        """Endless seeded op stream; fresh INSERT keys never collide
+        across phases or with the load population."""
+        spec = self.spec
+        rng = random.Random(((self.seed + 1) << 24) ^ (cli_id << 8) ^ phase)
+        verbs = [v for v, _w in spec.mix]
+        weights = [w for _v, w in spec.mix]
+        loaded = spec.keys_per_client
+        while True:
+            verb = rng.choices(verbs, weights=weights)[0]
+            if verb == "INSERT":
+                i = self._next_fresh[cli_id]
+                self._next_fresh[cli_id] = i + 1
+                yield ("INSERT", micro_key(cli_id, i),
+                       rng.randbytes(_VALUE_SIZE))
+            elif verb == "UPDATE":
+                yield ("UPDATE", micro_key(cli_id, rng.randrange(loaded)),
+                       rng.randbytes(_VALUE_SIZE))
+            elif verb == "DELETE":
+                yield ("DELETE", micro_key(cli_id, rng.randrange(loaded)),
+                       b"")
+            else:
+                yield ("SEARCH", micro_key(cli_id, rng.randrange(loaded)),
+                       b"")
+
+    def _drain(self, procs, limit: float = 240.0) -> None:
+        done = self.env.all_of(procs)
+        self.env.run_until_event(done, limit=self.env.now + limit)
+        failures = self.env.unexpected_failures()
+        if failures:
+            proc = failures[0]
+            raise AssertionError(
+                f"{len(failures)} chaos process(es) failed; first: "
+                f"{proc.name}: {proc.value!r}"
+            ) from proc.value
+
+    # -- action triggers -----------------------------------------------------
+
+    def _trigger(self, t0: float, action: ChaosAction):
+        target = t0 + action.at
+        if target > self.env.now:
+            yield self.env.timeout(target - self.env.now)
+        master = self.cluster.master
+        if action.after_milestone is not None:
+            node, stage = action.after_milestone
+            # The node may not have crashed yet; the milestone map resets
+            # at crash time, so poll until the failure is visible before
+            # grabbing the stage event.
+            while master.mn_state(node) == MnState.ALIVE:
+                yield self.env.timeout(2e-4)
+            if _STAGE_ORDER.get(master.mn_state(node), -1) \
+                    < _STAGE_ORDER[stage]:
+                yield master.milestone(node, stage)
+        if action.after_ckpt_round >= 0:
+            server = self.cluster.servers[action.after_ckpt_round]
+            yield server.next_ckpt_round()
+            if action.ckpt_offset > 0:
+                yield self.env.timeout(action.ckpt_offset)
+        if action.kind in INJECTOR_KINDS:
+            self.injector.fire_now(FailureEvent(
+                at=self.env.now, kind=INJECTOR_KINDS[action.kind],
+                node_id=action.node, factor=action.factor,
+            ))
+        elif action.kind == "leak_lock":
+            yield from self._leak_lock(action)
+        else:  # touch
+            yield from self._touch(action)
+
+    # -- engine-level actions ------------------------------------------------
+
+    def _client(self, cli_id: int):
+        for client in self.cluster.clients:
+            if client.cli_id == cli_id and client.alive:
+                return client
+        return None
+
+    def _leak_lock(self, action: ChaosAction):
+        """Insert a dedicated key, then force its Meta epoch odd at host
+        level — exactly the state a client leaves behind when its CN dies
+        between lock and unlock."""
+        client = self._client(action.client)
+        if client is None:
+            return
+        key = micro_key(client.cli_id, _LEAK_INDEX)
+        value = bytes([0x10 + (action.client & 0x0F)]) * _VALUE_SIZE
+        try:
+            yield from client.insert(key, value)
+        except (KeyNotFoundError, RetryBudgetExceeded, NodeFailedError):
+            return
+        self.history.ack(key, value)
+        if self._force_lock(key):
+            self.action_log.append(
+                (self.env.now, f"engine.leak_lock cli{client.cli_id}"))
+
+    def _force_lock(self, key: bytes) -> bool:
+        num_mns = self.cluster.config.cluster.num_mns
+        from ..index.hashing import fingerprint8, home_of
+        home = home_of(key, num_mns)
+        index = self.cluster.mns[home].index
+        fp = fingerprint8(key)
+        for bucket in index.candidate_buckets(key):
+            for slot in range(index.bucket_slots):
+                atomic = index.read_atomic(bucket, slot)
+                if atomic.empty or atomic.fp != fp:
+                    continue
+                meta = index.read_meta(bucket, slot)
+                ga = GlobalAddress.unpack(atomic.addr)
+                raw = self.cluster.mns[ga.node_id].read_bytes(
+                    ga.offset, max(meta.len_units, 1) * 64)
+                record = parse_kv(raw)
+                if record is None or record.key != key:
+                    continue
+                if not meta.locked:
+                    index.write_meta(bucket, slot, MetaField(
+                        epoch=meta.epoch + 1, len_units=meta.len_units))
+                return True
+        return False
+
+    def _touch(self, action: ChaosAction):
+        """A surviving client updates the leaked key, exercising the
+        lock-timeout takeover path."""
+        survivor = self._client(action.client)
+        if survivor is None:
+            return
+        key = micro_key(action.node, _LEAK_INDEX)
+        value = bytes([0xAB]) * _VALUE_SIZE
+        try:
+            yield from survivor.update(key, value)
+        except (KeyNotFoundError, RetryBudgetExceeded, NodeFailedError,
+                Interrupt):
+            self.history.indeterminate(key, value)
+            return
+        self.history.ack(key, value)
+        self.action_log.append(
+            (self.env.now, f"engine.touch cli{action.client}"))
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, checks: List[dict], counters: Dict[str, int]) -> dict:
+        """Deterministic, JSON-safe scenario report.
+
+        Built from the injector log, the master's failure log, the
+        recovery reports, and the engine action log — never from obs
+        state, so tracing on/off cannot perturb it."""
+        timeline = []
+        for ev in self.injector.injected:
+            timeline.append({"t": ev.at,
+                             "event": f"inject.{ev.kind}{ev.node_id}"})
+        for t, kind, node in self.cluster.master.failure_log:
+            timeline.append({"t": t, "event": f"fail.{kind}{node}"})
+        for t, label in self.action_log:
+            timeline.append({"t": t, "event": label})
+        recoveries = []
+        for rep in self.cluster._recovery.reports:
+            for tier, start, end in rep.timeline():
+                timeline.append({"t": start, "end": end,
+                                 "event": f"mn{rep.node_id}.{tier}"})
+            recoveries.append({
+                "node": rep.node_id,
+                "attempts": rep.attempts,
+                "started_at": rep.started_at,
+                "total_ms": rep.total_time * 1e3,
+                "applied_slots": rep.applied_slots,
+            })
+        timeline.sort(key=lambda e: (e["t"], e["event"]))
+        return {
+            "scenario": self.spec.name,
+            "seed": self.seed,
+            "ok": all(c["ok"] for c in checks),
+            "checks": checks,
+            "counters": counters,
+            "injections": [
+                {"t": ev.at, "kind": ev.kind, "node": ev.node_id,
+                 "factor": ev.factor}
+                for ev in self.injector.injected
+            ],
+            "timeline": timeline,
+            "recoveries": recoveries,
+            "sim_time": self.env.now,
+        }
+
+
+def run_scenario(name: str, seed: int = 1,
+                 obs: Optional[Observability] = None,
+                 geometry: Optional[dict] = None) -> dict:
+    """Run one registered scenario once; returns its invariant report."""
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown chaos scenario {name!r}; "
+                       f"known: {', '.join(sorted(SCENARIOS))}")
+    return ChaosEngine(spec, seed=seed, obs=obs, geometry=geometry).run()

@@ -1,0 +1,296 @@
+"""The post-scenario invariant harness (the chaos oracle).
+
+After a chaos scenario quiesces, the oracle decides PASS/FAIL from two
+independent angles:
+
+* a **structural walk** over every surviving index slot — duplicate slot
+  ownership, leaked locks (odd Meta epochs with no client holding them),
+  slot-version/record-version agreement, and unreadable records;
+
+* a **history replay** — the engine recorded every *acknowledged*
+  client write (the client-visible history); the oracle re-reads each
+  touched key through a surviving client and checks the value against
+  that history.  Strict scenarios assert zero acknowledged-write loss;
+  scenarios that crash a data node together with its parity holder
+  (Aceso's documented unsealed-tail window) may lose a *bounded* number
+  of recent writes but must never surface a value that was never
+  acknowledged.
+
+Determinism matters: every detail string is built from sorted data so a
+report serialises byte-identically across runs with the same seed,
+tracing on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import KeyNotFoundError, RetryBudgetExceeded
+from ..index.hashing import fingerprint8, home_of
+from ..index.slot import slot_version
+from ..memory.address import GlobalAddress
+from ..core.kvpair import parse_kv
+
+__all__ = ["History", "walk_index", "version_regressions", "replay",
+           "evaluate"]
+
+_DETAIL_LIMIT = 5  # problems quoted per check before truncating
+
+
+def _show(key: bytes) -> str:
+    return key.decode("latin1")
+
+
+def _clip(items: List[str]) -> str:
+    head = "; ".join(items[:_DETAIL_LIMIT])
+    extra = len(items) - _DETAIL_LIMIT
+    return head + (f"; … +{extra} more" if extra > 0 else "")
+
+
+class History:
+    """Client-visible write history, one totally-ordered chain per key.
+
+    Workload keys are single-writer (``micro_key`` embeds the client id),
+    so per-key acknowledgement order *is* the serialisation order.  An op
+    that failed indeterminately (crash/retry-exhaustion mid-write) may or
+    may not have taken effect; its value joins the key's *pending* set —
+    an acceptable read outcome — until a later acknowledged write
+    supersedes it.
+    """
+
+    def __init__(self):
+        self._chain: Dict[bytes, List[Optional[bytes]]] = {}
+        self._pending: Dict[bytes, List[Optional[bytes]]] = {}
+        self.ops_acked = 0
+        self.ops_rejected = 0       # key-not-found no-ops
+        self.ops_indeterminate = 0
+
+    def ack(self, key: bytes, value: Optional[bytes]) -> None:
+        """Record an acknowledged write (*value* None = DELETE)."""
+        self._chain.setdefault(key, []).append(value)
+        self._pending.pop(key, None)
+        self.ops_acked += 1
+
+    def reject(self, key: bytes) -> None:
+        self.ops_rejected += 1
+
+    def indeterminate(self, key: bytes, value: Optional[bytes]) -> None:
+        self._pending.setdefault(key, []).append(value)
+        self.ops_indeterminate += 1
+
+    def keys(self) -> List[bytes]:
+        return sorted(set(self._chain) | set(self._pending))
+
+    def latest(self, key: bytes) -> Optional[bytes]:
+        chain = self._chain.get(key)
+        return chain[-1] if chain else None
+
+    def has_acks(self, key: bytes) -> bool:
+        return bool(self._chain.get(key))
+
+    def acked_values(self, key: bytes) -> List[Optional[bytes]]:
+        return self._chain.get(key, [])
+
+    def pending_values(self, key: bytes) -> List[Optional[bytes]]:
+        return self._pending.get(key, [])
+
+
+def walk_index(cluster) -> Tuple[Dict[bytes, int], Dict[str, List[str]]]:
+    """Structural walk of every surviving index slot.
+
+    Returns ``(versions, problems)``: the per-key record slot version of
+    everything reachable through the index, plus categorised problem
+    strings (empty lists = clean).
+    """
+    num_mns = cluster.config.cluster.num_mns
+    versions: Dict[bytes, int] = {}
+    broken: List[str] = []
+    dangling: List[str] = []
+    duplicates: List[str] = []
+    leaked: List[str] = []
+    mismatch: List[str] = []
+    for home in sorted(cluster.mns):
+        mn = cluster.mns[home]
+        if not mn.alive:
+            broken.append(f"mn{home} still dead after quiesce")
+            continue
+        index = mn.index
+        for bucket, slot, word in index.iter_slots():
+            atomic = index.read_atomic(bucket, slot)
+            meta = index.read_meta(bucket, slot)
+            where = f"mn{home}[{bucket},{slot}]"
+            if meta.locked:
+                leaked.append(f"{where} epoch {meta.epoch} left locked")
+            ga = GlobalAddress.unpack(atomic.addr)
+            target = cluster.mns.get(ga.node_id)
+            if target is None or not target.alive:
+                dangling.append(f"{where} points at dead mn{ga.node_id}")
+                continue
+            length = max(meta.len_units, 1) * 64
+            try:
+                raw = target.read_bytes(ga.offset, length)
+            except Exception as exc:  # out-of-range address etc.
+                dangling.append(f"{where} unreadable: {type(exc).__name__}")
+                continue
+            record = parse_kv(raw)
+            if record is None or record.invalidated:
+                dangling.append(f"{where} does not hold a live record")
+                continue
+            key = record.key
+            if home_of(key, num_mns) != home:
+                broken.append(f"{where} holds {_show(key)} homed elsewhere")
+            if fingerprint8(key) != atomic.fp:
+                broken.append(f"{where} fingerprint mismatch for {_show(key)}")
+            if key in versions:
+                duplicates.append(_show(key))
+            expect = slot_version(meta.epoch, atomic.ver)
+            if not meta.locked and record.slot_version != expect:
+                mismatch.append(
+                    f"{_show(key)} slot {expect} != record "
+                    f"{record.slot_version}"
+                )
+            versions[key] = record.slot_version
+    problems = {
+        "broken": sorted(broken),
+        "dangling": sorted(dangling),
+        "duplicates": sorted(duplicates),
+        "leaked_locks": sorted(leaked),
+        "version_mismatch": sorted(mismatch),
+    }
+    return versions, problems
+
+
+def version_regressions(pre: Dict[bytes, int],
+                        post: Dict[bytes, int]) -> List[str]:
+    """Keys whose slot version moved *backwards* across the scenario.
+
+    A key may legitimately vanish (deleted, or reclaimed tombstone), but
+    a surviving key must never regress: versions only grow, including
+    across crash recovery (§3.4.1's highest-Slot-Version re-apply)."""
+    out = []
+    for key in sorted(pre):
+        cur = post.get(key)
+        if cur is not None and cur < pre[key]:
+            out.append(f"{_show(key)} {pre[key]} -> {cur}")
+    return out
+
+
+def replay(cluster, history: History) -> Dict[str, object]:
+    """Re-read every key the history touched and classify the outcome.
+
+    ``lost``  — the latest acknowledged write is gone (read miss or an
+    *older acknowledged* value resurfaced); ``wrong`` — a value that was
+    never written for that key (corruption — never tolerable);
+    ``unreadable`` — the read itself kept failing after quiesce.
+    """
+    reader = next((c for c in cluster.clients if c.alive), None)
+    if reader is None:
+        return {"checked": 0, "lost": ["no surviving client to read with"],
+                "wrong": [], "unreadable": []}
+    lost: List[str] = []
+    wrong: List[str] = []
+    unreadable: List[str] = []
+    checked = 0
+    for key in history.keys():
+        checked += 1
+        try:
+            got = cluster.run_op(reader.search(key))
+        except KeyNotFoundError:
+            got = None
+        except RetryBudgetExceeded:
+            unreadable.append(_show(key))
+            continue
+        expect = history.latest(key)
+        if got == expect and (got is not None or history.has_acks(key)):
+            continue
+        if got in history.pending_values(key):
+            continue  # an indeterminate write landed: acceptable
+        if got is None and not history.has_acks(key):
+            continue  # only indeterminate writes ever targeted this key
+        if got is None or got in history.acked_values(key):
+            lost.append(_show(key))
+        else:
+            wrong.append(_show(key))
+    return {"checked": checked, "lost": sorted(lost),
+            "wrong": sorted(wrong), "unreadable": sorted(unreadable)}
+
+
+def evaluate(cluster, history: History, pre_versions: Dict[bytes, int], *,
+             tolerate_unsealed_loss: bool = False,
+             loss_bound: int = 0) -> Tuple[List[dict], Dict[str, int]]:
+    """Run every invariant check; returns (checks, counters).
+
+    Each check is ``{"invariant": name, "ok": bool, "detail": str}`` with
+    deterministic detail text.
+    """
+    post_versions, problems = walk_index(cluster)
+    regress = version_regressions(pre_versions, post_versions)
+    rep = replay(cluster, history)
+    checks: List[dict] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append({"invariant": name, "ok": bool(ok), "detail": detail})
+
+    n_lost = len(rep["lost"]) + len(rep["unreadable"])
+    if tolerate_unsealed_loss:
+        # Correlated data+parity crash: the unsealed tail may be lost,
+        # bounded by the open-block slots per client — but nothing may
+        # ever read back a value that was never written.
+        ok = not rep["wrong"] and n_lost <= loss_bound
+        check("bounded-unsealed-loss", ok,
+              f"{n_lost} of {rep['checked']} keys lost "
+              f"(bound {loss_bound}), 0 required wrong, got "
+              f"{len(rep['wrong'])} wrong"
+              + (": " + _clip(rep["wrong"] + rep["lost"]) if not ok else ""))
+    else:
+        ok = n_lost == 0 and not rep["wrong"]
+        check("zero-acked-write-loss", ok,
+              f"{rep['checked']} keys replayed, {len(rep['lost'])} lost, "
+              f"{len(rep['wrong'])} wrong, "
+              f"{len(rep['unreadable'])} unreadable"
+              + (": " + _clip(rep["lost"] + rep["wrong"]
+                              + rep["unreadable"]) if not ok else ""))
+    check("no-duplicate-slot-ownership", not problems["duplicates"],
+          f"{len(problems['duplicates'])} keys owned by multiple slots"
+          + (": " + _clip(problems["duplicates"])
+             if problems["duplicates"] else ""))
+    check("no-leaked-locks", not problems["leaked_locks"],
+          f"{len(problems['leaked_locks'])} slots left locked"
+          + (": " + _clip(problems["leaked_locks"])
+             if problems["leaked_locks"] else ""))
+    check("monotonic-version-chains",
+          not regress and not problems["version_mismatch"],
+          f"{len(regress)} regressions, "
+          f"{len(problems['version_mismatch'])} slot/record mismatches"
+          + (": " + _clip(regress + problems["version_mismatch"])
+             if regress or problems["version_mismatch"] else ""))
+    # Dangling slots (entries pointing at dead nodes / vanished records)
+    # are the structural shadow of unsealed-tail loss: a correlated
+    # data+parity crash may leave restored index entries whose records
+    # are unrecoverable.  Scenarios that tolerate bounded loss tolerate
+    # the matching dangling entries; corruption (fingerprint or home
+    # mismatches) is never tolerated.
+    dangling = problems["dangling"]
+    dangling_ok = (not dangling
+                   or (tolerate_unsealed_loss
+                       and len(dangling) <= loss_bound))
+    check("structural-integrity",
+          not problems["broken"] and dangling_ok,
+          f"{len(problems['broken'])} corrupt slots, "
+          f"{len(dangling)} dangling slots"
+          + (" (tolerated: unsealed tail)"
+             if dangling and dangling_ok else "")
+          + (": " + _clip(problems["broken"] + dangling)
+             if problems["broken"] or not dangling_ok else ""))
+    check("progress", history.ops_acked > 0,
+          f"{history.ops_acked} acknowledged ops")
+    counters = {
+        "ops_acked": history.ops_acked,
+        "ops_rejected": history.ops_rejected,
+        "ops_indeterminate": history.ops_indeterminate,
+        "keys_replayed": rep["checked"],
+        "keys_lost": n_lost,
+        "keys_wrong": len(rep["wrong"]),
+        "slots_walked": len(post_versions),
+    }
+    return checks, counters

@@ -37,15 +37,22 @@ class Master:
         self.env = env
         self.detection_delay = detection_delay
         self._mn_state: Dict[int, str] = {}
+        self._mn_incarnation: Dict[int, int] = {}
         self._milestones: Dict[int, Dict[str, Event]] = {}
         self._recovery_callback: Optional[Callable[[int], None]] = None
         self.failed_cns: Set[int] = set()
         self.failure_log: List[tuple] = []
+        #: When False, detection still flips client-visible state but
+        #: recovery waits for an explicit :meth:`trigger_recovery` —
+        #: transient-failure experiments use this to model a delayed
+        #: operator-driven rejoin.
+        self.auto_recover = True
 
     # -- registration -------------------------------------------------------
 
     def register_mn(self, node_id: int) -> None:
         self._mn_state[node_id] = MnState.ALIVE
+        self._mn_incarnation.setdefault(node_id, 0)
         self._milestones[node_id] = {}
 
     def set_recovery_callback(self, callback: Callable[[int], None]) -> None:
@@ -61,6 +68,22 @@ class Master:
         return self._mn_state[node_id] in (
             MnState.ALIVE, MnState.INDEX_RECOVERED, MnState.RECOVERED
         )
+
+    def mn_block_writable(self, node_id: int) -> bool:
+        """Whether *node_id*'s Block Area accepts new KV writes.
+
+        Stricter than :meth:`mn_writable`: while a node's blocks are
+        being rebuilt (tiers 2-3), a KV pair landing in a block buffer
+        would be silently overwritten by the decode pass.
+        """
+        return self._mn_state[node_id] in (MnState.ALIVE, MnState.RECOVERED)
+
+    def mn_incarnation(self, node_id: int) -> int:
+        """Crash counter for *node_id*.  Block grants fetched under an
+        older incarnation reference addresses the crash may have
+        invalidated (the recovered free list can re-hand out that space)
+        and must be abandoned, not written through."""
+        return self._mn_incarnation.get(node_id, 0)
 
     def mn_degraded(self, node_id: int) -> bool:
         """Index back but Block Area still missing: reads are degraded."""
@@ -84,16 +107,46 @@ class Master:
         if self._mn_state[node_id] == MnState.FAILED:
             return
         self._mn_state[node_id] = MnState.FAILED
+        self._mn_incarnation[node_id] = \
+            self._mn_incarnation.get(node_id, 0) + 1
         self.failure_log.append((self.env.now, "mn", node_id))
-        # Reset milestones so waiters block until *this* recovery completes.
-        self._milestones[node_id] = {}
+        self._reset_milestones(node_id)
         self.env.process(self._detect_and_recover(node_id),
                          name=f"master.detect(mn{node_id})")
 
+    def _reset_milestones(self, node_id: int) -> None:
+        """Drop *triggered* milestone events so future waiters block until
+        the new recovery completes, but keep untriggered ones: processes
+        already parked on them stay registered and wake when the fresh
+        recovery reaches that stage (dropping them would orphan waiters
+        forever)."""
+        events = self._milestones[node_id]
+        self._milestones[node_id] = {
+            name: ev for name, ev in events.items() if not ev.triggered
+        }
+
+    def reset_to_failed(self, node_id: int) -> None:
+        """A node that was mid-recovery lost a dependency and must restart
+        its tiers from scratch: client-visible state drops back to FAILED
+        (no new detection process — the running recovery retries in place)."""
+        self._mn_state[node_id] = MnState.FAILED
+        self._reset_milestones(node_id)
+
     def _detect_and_recover(self, node_id: int):
         yield self.env.timeout(self.detection_delay)
-        if self._recovery_callback is not None:
+        if self.auto_recover and self._recovery_callback is not None:
             self._recovery_callback(node_id)
+
+    def trigger_recovery(self, node_id: int) -> bool:
+        """Manually start recovery of a FAILED MN (the delayed-rejoin half
+        of a transient failure when :attr:`auto_recover` is off).  Returns
+        False when the node is not FAILED or no callback is registered."""
+        if self._mn_state.get(node_id) != MnState.FAILED:
+            return False
+        if self._recovery_callback is None:
+            return False
+        self._recovery_callback(node_id)
+        return True
 
     def reach_milestone(self, node_id: int, state: str) -> None:
         """Recovery code reports progress; wakes every waiter."""

@@ -594,6 +594,24 @@ class AcesoClient:
                 kv_wire_size(len(key), len(value))
             )
             block, wslot = yield from self._get_write_slot(size_class)
+            grant = block.grant
+            stale = (
+                self.master.mn_incarnation(grant.data_node)
+                != block.epoch[0]
+                or (grant.delta_node >= 0
+                    and self.master.mn_incarnation(grant.delta_node)
+                    != block.epoch[1])
+            )
+            if stale or not self.master.mn_block_writable(grant.data_node):
+                # Stale grant (the data or delta node crashed since the
+                # grant was issued, so the recovered node may re-hand out
+                # this space) or the Block Area is still being rebuilt —
+                # a KV/delta write landing now could be overwritten or
+                # clobber another client's block (§3.4.1).  Abandon the
+                # grant and allocate a fresh block.
+                self.blocks.retire_if(size_class.slot_size, block)
+                retries += 1
+                continue
             old_bytes = block.slot_old_bytes(wslot)
             wv = wv_toggle(old_bytes[0]) if old_bytes[0] else 1
             kv_bytes = encode_kv(key, value, version, size_class.slot_size,
@@ -866,6 +884,11 @@ class AcesoClient:
         if grant is None:
             raise AllocationError("block allocation failed repeatedly")
         block = OpenBlock(grant, size_class)
+        block.epoch = (
+            self.master.mn_incarnation(grant.data_node),
+            self.master.mn_incarnation(grant.delta_node)
+            if grant.delta_node >= 0 else 0,
+        )
         if block.needs_old_content:
             # Read the whole reused block once (§3.3.3) — chunked so
             # other clients' verbs interleave.

@@ -56,6 +56,9 @@ class OpenBlock:
         #: Old contents of the block (reused blocks only; fetched once).
         self.old_content: Optional[bytes] = None
         self.writes_done = 0
+        #: (data-node, delta-node) crash incarnations at grant time.  A
+        #: later crash of either node invalidates the grant's addresses.
+        self.epoch: Tuple[int, int] = (0, 0)
 
     @property
     def exhausted(self) -> bool:

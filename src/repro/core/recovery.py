@@ -60,7 +60,10 @@ class RecoveryReport:
     recover_old_s: float = 0.0
     old_count: int = 0
     applied_slots: int = 0
+    scrubbed_slots: int = 0
     lost_bytes: int = 0
+    #: Tier restarts forced by a dependency dying mid-recovery.
+    attempts: int = 1
 
     @property
     def meta_time(self) -> float:
@@ -174,11 +177,39 @@ class MemoryNodeRecovery:
     # -- main entry -----------------------------------------------------------
 
     def recover(self, node_id: int):
+        """Tiered recovery with crash-during-recovery tolerance: when a
+        node this recovery depends on (checkpoint holder, shard holder,
+        scan source) dies mid-tier, the partial restoration is wiped and
+        the tiers restart from scratch against the surviving membership —
+        the same recovery process keeps driving, so a cluster with
+        ``auto_recover`` off behaves identically."""
         cluster = self.cluster
         mn = cluster.mns[node_id]
         server = cluster.servers[node_id]
         report = RecoveryReport(node_id=node_id, started_at=self.env.now)
         self.reports.append(report)
+        while True:
+            try:
+                return (yield from self._recover_once(node_id, report))
+            except NodeFailedError:
+                if report.attempts >= 6:
+                    raise RecoveryError(
+                        f"mn{node_id} recovery kept losing dependencies "
+                        f"({report.attempts} attempts)"
+                    )
+                report.attempts += 1
+                if mn.alive:
+                    # Wipe the partial restoration; anything re-applied to
+                    # the index so far is re-derivable from the blocks.
+                    server.stop()
+                    mn.crash()
+                cluster.master.reset_to_failed(node_id)
+                yield self.env.timeout(cluster.master.detection_delay)
+
+    def _recover_once(self, node_id: int, report: RecoveryReport):
+        cluster = self.cluster
+        mn = cluster.mns[node_id]
+        server = cluster.servers[node_id]
 
         mn.reset_for_recovery()
         server.reset_after_crash()
@@ -239,12 +270,7 @@ class MemoryNodeRecovery:
                 holder = other
                 break
         t0 = self.env.now
-        if holder is None:
-            # No replica (e.g. the neighbour crashed too): all metadata of
-            # this node is lost; blocks must be rediscovered from parity
-            # holders.
-            self._restore_meta_from_parity_holders(server)
-        else:
+        if holder is not None:
             replicas = holder.mn.meta_replicas[node_id]
             total = len(replicas) * server.mn.meta_record_size
             yield from self._read_remote(server, holder.node_id, total)
@@ -253,10 +279,22 @@ class MemoryNodeRecovery:
                 restored = meta.copy()
                 restored.valid = restored.role is Role.FREE
                 blocks.meta[block_id] = restored
-            blocks._free = [m.block_id for m in blocks.meta
-                            if m.role is Role.FREE]
-            blocks._free.reverse()
+        # The replica map can be PARTIAL: if the replica holder itself
+        # crashed earlier, it lost every record shipped before its own
+        # failure, and only blocks touched since then were re-replicated.
+        # Treating such a map as complete would leave old sealed blocks
+        # marked FREE — they would be reallocated and overwritten while
+        # surviving parity holders still reference them.  Always merge in
+        # every block the parity holders / directory still know about,
+        # then rebuild the free list from the merged view.
+        self._restore_meta_from_parity_holders(server)
         self._rebuild_parity_records(server)
+        # Free list last: only after DATA, PARITY and DELTA blocks have
+        # all been re-claimed may the remainder be handed out again.
+        blocks = server.mn.blocks
+        blocks._free = [m.block_id for m in blocks.meta
+                        if m.role is Role.FREE]
+        blocks._free.reverse()
         report.read_meta_s = self.env.now - t0
         report.lost_bytes = sum(
             cluster.config.cluster.block_size
@@ -264,12 +302,14 @@ class MemoryNodeRecovery:
         )
 
     def _restore_meta_from_parity_holders(self, server) -> None:
-        """Fallback when the meta replica is gone: rebuild skeleton DATA
-        and PARITY metadata from surviving parity-holder records.
+        """Rebuild skeleton DATA and PARITY metadata from surviving
+        parity-holder records, for blocks the meta replica did not cover
+        (a partial replica, or no replica at all).
 
-        Slot geometry is unknown without the replica (``slot_size`` 0);
-        the KV scan then walks records generically by their self-describing
-        headers."""
+        Blocks already restored from the replica (role not FREE) are left
+        untouched.  Slot geometry is unknown without the replica
+        (``slot_size`` 0); the KV scan then walks records generically by
+        their self-describing headers."""
         node_id = server.node_id
         blocks = server.mn.blocks
         seen = set()
@@ -283,6 +323,8 @@ class MemoryNodeRecovery:
                         continue
                     seen.add(block_id)
                     meta = blocks.meta[block_id]
+                    if meta.role is not Role.FREE:
+                        continue  # already restored from the replica
                     meta.role = Role.DATA
                     meta.valid = False
                     meta.stripe_id = sid
@@ -299,13 +341,12 @@ class MemoryNodeRecovery:
                     if loc is None or loc[0] != node_id or loc[1] < 0:
                         continue
                     meta = blocks.meta[loc[1]]
+                    if meta.role is not Role.FREE:
+                        continue  # already restored from the replica
                     meta.role = Role.PARITY
                     meta.valid = False
                     meta.stripe_id = sid
                     meta.xor_id = k + parity_index
-        blocks._free = [m.block_id for m in blocks.meta
-                        if m.role is Role.FREE]
-        blocks._free.reverse()
 
     def _rebuild_parity_records(self, server) -> None:
         """Re-create this node's parity-holder stripe records from the
@@ -332,6 +373,16 @@ class MemoryNodeRecovery:
                         ga = GlobalAddress.unpack(addr)
                         block_id, _intra = server.mn.blocks.locate(ga.offset)
                         record.delta_blocks[j] = block_id
+                        # Re-claim the DELTA block id: the replica that
+                        # named it may predate the crash, and leaving it
+                        # FREE would let the allocator re-grant space the
+                        # fill cycle's clients still write deltas into.
+                        dmeta = server.mn.blocks.meta[block_id]
+                        if dmeta.role is Role.FREE:
+                            dmeta.role = Role.DELTA
+                            dmeta.valid = False
+                            dmeta.stripe_id = sid
+                            dmeta.xor_id = j
             server.stripes[sid] = record
 
     # -- tier 2: Index Area --------------------------------------------------------
@@ -426,7 +477,10 @@ class MemoryNodeRecovery:
         yield server.mn.ec_core.submit(scan_cpu)
         report.scan_kv_s = self.env.now - t3
 
-        # 2d. re-apply each slot to its highest-versioned KV pair.
+        # 2d. scrub restored entries dangling into rescanned blocks.
+        yield from self._scrub_index(server, contents, report)
+
+        # 2e. re-apply each slot to its highest-versioned KV pair.
         yield from self._apply_candidates(server, candidates, report)
         return ckpt_iv
 
@@ -491,6 +545,61 @@ class MemoryNodeRecovery:
                     best[record.key] = (record.slot_version, record, addr,
                                         slot_size)
         return best
+
+    def _scrub_index(self, server, contents, report: RecoveryReport):
+        """Drop restored slots whose pointed-to record was reclaimed away.
+
+        The checkpoint may be up to one round stale, so a restored entry
+        can point into a block slot that reclamation handed out and a
+        client rewrote under a *different* key in the meantime.  Left in
+        place, such an entry is unrecognisable to the re-apply pass (the
+        record no longer names the slot's key), so the key's newer KV
+        pair would land in a second slot and the stale one would dangle.
+
+        Every block mutated since the checkpoint is in the rescan set —
+        open blocks and reuse grants carry Index Version 0 and re-sealed
+        blocks a fresh stamp — so each restored pointer into a rescanned
+        block can be checked against the freshly read bytes and cleared
+        when the record there no longer matches the slot's fingerprint
+        and home.  Pointers into blocks outside the rescan set are
+        untouched since the checkpoint and stay as restored.
+        """
+        spans: List[Tuple[int, int, int, Dict[int, object]]] = []
+        for owner, meta, data in contents:
+            base = self.cluster.mns[owner].blocks.offset_of(meta.block_id)
+            records = {
+                base + off: record
+                for off, _size, record in self._walk_records(data,
+                                                             meta.slot_size)
+            }
+            spans.append((owner, base, base + len(data), records))
+        index = server.mn.index
+        node_id = server.node_id
+        checked = 0
+        for bucket in range(index.num_buckets):
+            for slot in range(index.bucket_slots):
+                atomic = index.read_atomic(bucket, slot)
+                if atomic.empty:
+                    continue
+                checked += 1
+                ga = GlobalAddress.unpack(atomic.addr)
+                for owner, lo, hi, records in spans:
+                    if owner != ga.node_id or not lo <= ga.offset < hi:
+                        continue
+                    record = records.get(ga.offset)
+                    if (record is None or record.invalidated
+                            or fingerprint8(record.key) != atomic.fp
+                            or home_of(record.key,
+                                       self.cluster.config.cluster.num_mns)
+                            != node_id):
+                        index.write_atomic(bucket, slot,
+                                           AtomicField(fp=0, ver=0, addr=0))
+                        index.write_meta(bucket, slot, MetaField(0, 0))
+                        report.scrubbed_slots += 1
+                    break
+        if checked:
+            yield server.mn.ec_core.submit(
+                checked / self.cluster.config.cluster.cpu.scan_rate)
 
     def _apply_candidates(self, server, candidates, report: RecoveryReport):
         """Point each index slot at the KV pair with the highest version."""
@@ -797,79 +906,193 @@ class MemoryNodeRecovery:
                 if codec.name == "xor"
                 else cluster.config.cluster.cpu.rs_rate)
         for sid, record in list(server.stripes.items()):
-            datas: List[bytes] = []
+            # Clients keep writing while parity is re-derived, so the
+            # capture must not straddle them: charge the read + encode
+            # time first, then copy every surviving data block (and, for
+            # a Q holder, the P holder's delta blocks) at a single
+            # simulation instant.
+            sources = []  # (position, data owner, block id)
             for j in range(codec.k):
                 loc = record.data[j]
                 if loc is None:
-                    datas.append(bytes(block_size))
                     continue
                 node, block_id = loc
                 srv = cluster.servers.get(node)
                 if srv is None or not srv.mn.alive \
                         or not srv.mn.blocks.meta[block_id].valid:
-                    datas.append(bytes(block_size))
                     continue
                 yield from self._read_remote(server, node, block_size)
-                datas.append(bytes(srv.mn.blocks.buffer(block_id)))
+                sources.append((j, srv, block_id))
             if record.parity_index == 0:
-                # Re-baseline: folded := current; deltas restart at zero.
-                yield server.mn.ec_core.submit(
-                    codec.k * block_size / rate)
-                parity = codec.encode(datas)
-                server.mn.blocks.set_block(record.parity_block, parity[0])
-                server.mn.blocks.meta[record.parity_block].valid = True
-                for j in range(codec.k):
-                    dblk = record.delta_blocks[j]
-                    if dblk is not None:
-                        server.mn.blocks.buffer(dblk)[:] = bytes(block_size)
-                    record.sealed[j] = record.data[j] is not None
-                # Push the matching Q to its (alive) holder.
-                qnode = cluster.layout.node_of(sid, codec.k + 1)
-                qsrv = cluster.servers.get(qnode)
-                if codec.m > 1 and qsrv is not None and qsrv.mn.alive:
-                    qrec = qsrv.stripes.get(sid)
-                    if qrec is not None:
-                        yield cluster.fabric.transfer(
-                            server.mn.nic, qsrv.mn.nic, block_size,
-                            traffic_class="recovery",
-                        )
-                        qsrv.mn.blocks.set_block(qrec.parity_block,
-                                                 parity[1])
-                        qrec.sealed = list(record.sealed)
+                yield from self._rebaseline_p(server, sid, record, sources)
             else:
-                # Q holder: fold deltas from the surviving P holder first.
-                pnode = cluster.layout.node_of(sid, codec.k)
-                psrv = cluster.servers.get(pnode)
-                if psrv is not None and psrv.mn.alive:
-                    prec = psrv.stripes.get(sid)
-                    if prec is not None:
-                        for j in range(codec.k):
-                            dblk = prec.delta_blocks[j]
-                            if dblk is None:
-                                continue
-                            yield from self._read_remote(server, pnode,
-                                                         block_size)
-                            datas[j] = xor_bytes(
-                                datas[j],
-                                bytes(psrv.mn.blocks.buffer(dblk)),
-                            )
-                yield server.mn.ec_core.submit(codec.k * block_size / rate)
-                parity = codec.encode(datas)
-                server.mn.blocks.set_block(record.parity_block,
-                                           parity[record.parity_index])
-                server.mn.blocks.meta[record.parity_block].valid = True
+                yield from self._rebaseline_q(server, record, sources)
+
+    #: Grace period for fabric writes already in flight when a parity
+    #: re-baseline captures its data blocks (one write latency, padded).
+    _REBASE_GRACE = 10e-6
+
+    def _rebaseline_p(self, server, sid, record, sources):
+        """Recovered P holder: folded := current, deltas restart at zero.
+
+        Three hazards with live writers (each KV pair and its delta are
+        posted in parallel, so either can land first):
+
+        * an open position's delta keeps accumulating after the reset —
+          the position must stay *unsealed* so decodes keep folding it;
+        * a delta that landed before the capture while its KV pair is
+          still in flight must be preserved, not zeroed: the new baseline
+          holds the slot's generation-start bytes, so the delta stays
+          exactly right once the KV write lands;
+        * a delta landing just after the reset for a KV pair already in
+          the baseline would double-apply — re-zero those slots after a
+          grace period covering writes that were in flight.
+        """
+        cluster = self.cluster
+        codec = cluster.codec
+        block_size = cluster.config.cluster.block_size
+        rate = (cluster.config.cluster.cpu.xor_rate
+                if codec.name == "xor"
+                else cluster.config.cluster.cpu.rs_rate)
+        yield server.mn.ec_core.submit(codec.k * block_size / rate)
+        # ---- single-instant capture: datas, parity, delta reset -------
+        datas = [bytes(block_size)] * codec.k
+        rezero: List[Tuple[object, int, int]] = []  # (delta buf, off, size)
+        for j, srv, block_id in sources:
+            data_now = bytes(srv.mn.blocks.buffer(block_id))
+            datas[j] = data_now
+            dblk = record.delta_blocks[j]
+            if dblk is None:
+                continue
+            dbuf = server.mn.blocks.buffer(dblk)
+            slot_size = srv.mn.blocks.meta[block_id].slot_size
+            if not slot_size:
+                dbuf[:] = bytes(block_size)
+                continue
+            old = srv.mn.reclaim_backups.get(block_id) or bytes(block_size)
+            for off in range(0, block_size, slot_size):
+                if data_now[off:off + slot_size] == old[off:off + slot_size]:
+                    continue  # KV pair not landed: keep in-flight delta
+                dbuf[off:off + slot_size] = bytes(slot_size)
+                rezero.append((dbuf, off, slot_size))
+        for j in range(codec.k):
+            record.sealed[j] = (record.data[j] is not None
+                                and record.delta_blocks[j] is None)
+        parity = codec.encode(datas)
+        server.mn.blocks.set_block(record.parity_block, parity[0])
+        server.mn.blocks.meta[record.parity_block].valid = True
+        # ---- grace: drop deltas that were racing the capture ----------
+        if rezero:
+            yield self.env.timeout(self._REBASE_GRACE)
+            for dbuf, off, slot_size in rezero:
+                if any(dbuf[off:off + slot_size]):
+                    dbuf[off:off + slot_size] = bytes(slot_size)
+        # ---- push the matching Q to its (alive) holder ----------------
+        qnode = cluster.layout.node_of(sid, codec.k + 1)
+        qsrv = cluster.servers.get(qnode)
+        if codec.m > 1 and qsrv is not None and qsrv.mn.alive:
+            qrec = qsrv.stripes.get(sid)
+            if qrec is not None:
+                yield cluster.fabric.transfer(
+                    server.mn.nic, qsrv.mn.nic, block_size,
+                    traffic_class="recovery",
+                )
+                qsrv.mn.blocks.set_block(qrec.parity_block, parity[1])
+                qrec.sealed = list(record.sealed)
+
+    def _rebaseline_q(self, server, record, sources):
+        """Recovered Q holder: re-encode from the folded states, which the
+        surviving P holder still covers (shard XOR its delta).
+
+        The shard and delta captures happen at one instant, so the only
+        skew is a delta still in flight for a KV write that already
+        landed.  After a grace period, slots whose delta changed while
+        their shard did not are re-folded with the late delta (a changed
+        shard means a fresh post-capture write instead, whose folded
+        state *is* the captured shard)."""
+        cluster = self.cluster
+        codec = cluster.codec
+        block_size = cluster.config.cluster.block_size
+        rate = (cluster.config.cluster.cpu.xor_rate
+                if codec.name == "xor"
+                else cluster.config.cluster.cpu.rs_rate)
+        sid = next((s for s, r in server.stripes.items() if r is record),
+                   None)
+        pnode = cluster.layout.node_of(sid, codec.k) if sid is not None \
+            else None
+        psrv = cluster.servers.get(pnode) if pnode is not None else None
+        prec = None
+        if psrv is not None and psrv.mn.alive:
+            prec = psrv.stripes.get(sid)
+            if prec is not None:
+                for j, _srv, _block_id in sources:
+                    if prec.delta_blocks[j] is not None:
+                        yield from self._read_remote(server, pnode,
+                                                     block_size)
+        yield server.mn.ec_core.submit(codec.k * block_size / rate)
+        # ---- single-instant capture of shards and deltas --------------
+        datas = [bytes(block_size)] * codec.k
+        shards: Dict[int, bytes] = {}
+        deltas: Dict[int, Tuple[object, bytes, int]] = {}
+        for j, srv, block_id in sources:
+            shard = bytes(srv.mn.blocks.buffer(block_id))
+            shards[j] = shard
+            datas[j] = shard
+            if prec is None:
+                continue
+            dblk = prec.delta_blocks[j]
+            if dblk is None:
+                continue
+            dbytes = bytes(psrv.mn.blocks.buffer(dblk))
+            slot_size = srv.mn.blocks.meta[block_id].slot_size
+            deltas[j] = (psrv.mn.blocks.buffer(dblk), dbytes, slot_size)
+            datas[j] = xor_bytes(shard, dbytes)
+        # ---- grace: re-fold slots whose delta arrived late ------------
+        if deltas:
+            yield self.env.timeout(self._REBASE_GRACE)
+            for j, (dbuf, dbytes, slot_size) in deltas.items():
+                if not slot_size:
+                    continue
+                now = bytes(dbuf)
+                if now == dbytes:
+                    continue
+                shard = shards[j]
+                srv_blk = next(((s, b) for p, s, b in sources if p == j),
+                               None)
+                folded = bytearray(datas[j])
+                for off in range(0, len(now), slot_size):
+                    if now[off:off + slot_size] == dbytes[off:off + slot_size]:
+                        continue
+                    if srv_blk is not None:
+                        cur_shard = bytes(
+                            srv_blk[0].mn.blocks.buffer(srv_blk[1])
+                        )[off:off + slot_size]
+                        if cur_shard != shard[off:off + slot_size]:
+                            continue  # fresh write, not a late delta
+                    folded[off:off + slot_size] = xor_bytes(
+                        shard[off:off + slot_size],
+                        now[off:off + slot_size])
+                datas[j] = bytes(folded)
+        parity = codec.encode(datas)
+        server.mn.blocks.set_block(record.parity_block,
+                                   parity[record.parity_index])
+        server.mn.blocks.meta[record.parity_block].valid = True
 
 
 # ----------------------------------------------------------------------
 # compute-node (client) recovery — §3.4.2
 # ----------------------------------------------------------------------
 
-def restart_client(cluster, old_client):
+def restart_client(cluster, old_client, cn=None):
     """Restart a crashed client on a functional CN and return the new
-    client plus the process driving its state recovery."""
+    client plus the process driving its state recovery.  *cn* pins the
+    replacement to a specific alive compute node (CN rejoin)."""
     from .api import AcesoClient
 
-    new_cn = next(cn for cn in cluster.cns.values() if cn.alive)
+    if cn is not None and cn.alive:
+        new_cn = cn
+    else:
+        new_cn = next(c for c in cluster.cns.values() if c.alive)
     client = AcesoClient(cluster.env, cluster.fabric, cluster.config,
                          old_client.cli_id, new_cn, cluster.mns,
                          cluster.servers, cluster.master, cluster.layout,

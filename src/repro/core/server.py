@@ -162,6 +162,10 @@ class AcesoServer:
         )
         self.ckpt_rounds = 0
         self.last_delta_size = 0
+        #: Untriggered Event handed out by :meth:`next_ckpt_round`; fires
+        #: at the start of the next checkpoint round (chaos/test hook for
+        #: deterministic crash-during-checkpoint timing).
+        self._round_watch = None
         #: Observability bundle (set by the cluster); None or disabled
         #: keeps the checkpoint loop uninstrumented.
         self.obs = None
@@ -742,12 +746,23 @@ class AcesoServer:
             # Intervals stretch when a round overruns (§4.5, Fig. 19).
             yield self.env.timeout(max(interval - elapsed, interval * 0.05))
 
+    def next_ckpt_round(self):
+        """Event that fires when this server's next checkpoint round
+        starts shipping work (after the neighbour check, so waiters see a
+        round that actually runs)."""
+        if self._round_watch is None or self._round_watch.triggered:
+            self._round_watch = self.env.event()
+        return self._round_watch
+
     def _checkpoint_round(self):
         cluster = self.config.cluster
         cpu = cluster.cpu
         neighbor = self._ckpt_neighbor()
         if neighbor is None:
             return
+        watch = self._round_watch
+        if watch is not None and not watch.triggered:
+            watch.succeed(self.env.now)
         index_size = self.mn.index_region.size
         obs = self.obs
         traced = obs is not None and obs.enabled
@@ -760,10 +775,14 @@ class AcesoServer:
             yield self.mn.ckpt_send_core.submit(index_size / cpu.memcpy_rate)
             snapshot = self.mn.index_region.snapshot()
             iv = self.mn.index.index_version
-            if self.node_id not in neighbor.mn.ckpt_images:
-                # Neighbour has no image (first round or it was rebuilt):
-                # restart the delta chain from zero so the delta is the full
-                # snapshot.
+            if (self.node_id not in neighbor.mn.ckpt_images
+                    or self.checkpointer.rounds == 0):
+                # Restart the delta chain from zero so the delta is the
+                # full snapshot: either the neighbour has no image (first
+                # round or it was rebuilt), or this server just restarted
+                # after a crash — its fresh chain must not XOR onto a
+                # stale image a surviving neighbour still holds.
+                neighbor.mn.ckpt_images.pop(self.node_id, None)
                 self.checkpointer = DifferentialCheckpointer(
                     self.checkpointer.compressor, index_size
                 )
@@ -798,6 +817,13 @@ class AcesoServer:
                 delta.raw_size / cpu.decompress_rate
                 + index_size / cpu.xor_rate
             )
+            if not neighbor.mn.alive:
+                # The neighbour died after the ship landed but before the
+                # apply.  Abort the round: XOR-applying a mid-chain delta
+                # onto the crashed node's (now empty) image store would
+                # plant a garbage base image that a later recovery of
+                # *this* node would trust.
+                return
             prev = neighbor.mn.ckpt_images.get(self.node_id)
             image = self.checkpointer.apply_delta(prev, delta)
             neighbor.mn.ckpt_images[self.node_id] = image

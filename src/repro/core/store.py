@@ -133,6 +133,22 @@ class ClusterBase:
                 client.stop()
         self.master.report_cn_failure(node_id)
 
+    def rejoin_cn(self, node_id: int):
+        """Bring a crashed CN back and restart its dead clients on it
+        (delayed rejoin of a transient failure).  Returns the list of
+        ``(new_client, recovery_proc)`` pairs."""
+        cn = self.cns[node_id]
+        if not cn.alive:
+            cn.restart()
+        alive_ids = {c.cli_id for c in self.clients if c.alive}
+        out = []
+        for client in list(self.clients):
+            if client.cn is cn and not client.alive \
+                    and client.cli_id not in alive_ids:
+                out.append(self.restart_client(client, cn=cn))
+                alive_ids.add(client.cli_id)
+        return out
+
 
 class AcesoCluster(ClusterBase):
     """The full Aceso system on simulated disaggregated memory."""
@@ -211,11 +227,13 @@ class AcesoCluster(ClusterBase):
         self.env.process(self._recovery.recover(node_id),
                          name=f"recover(mn{node_id})")
 
-    def restart_client(self, client: AcesoClient) -> "AcesoClient":
+    def restart_client(self, client: AcesoClient, cn=None) -> "AcesoClient":
         """CN crash recovery entry point: restart one client's state on a
-        functional CN (§3.4.2) — returns the replacement client."""
+        functional CN (§3.4.2) — returns the replacement client.  Pass
+        *cn* to pin the replacement to a specific (alive) compute node,
+        e.g. the original one after a rejoin."""
         from .recovery import restart_client
-        return restart_client(self, client)
+        return restart_client(self, client, cn=cn)
 
     # -- reporting ----------------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""The chaos matrix: every registered scenario under several seeds.
+
+Each case runs one declarative fault scenario end to end (load, inject,
+quiesce) and asserts that the invariant oracle passes: zero (or bounded)
+acknowledged-write loss, no duplicate slot ownership, no leaked locks,
+monotonic version chains, structural integrity of every surviving slot.
+
+The fast subset (``spec.fast``) runs unmarked on every push; the heavier
+correlated-failure scenarios carry ``@pytest.mark.slow`` and run in the
+CI slow lane (or locally with ``-m slow``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SCENARIOS, fast_scenarios, run_scenario
+
+SEEDS = (1, 2, 3)
+
+_FAST = fast_scenarios()
+_SLOW = tuple(n for n in SCENARIOS if n not in _FAST)
+
+
+def _failing(report: dict) -> list:
+    return [c["invariant"] for c in report["checks"] if not c["ok"]]
+
+
+def _details(report: dict) -> str:
+    return "; ".join(c["detail"] for c in report["checks"] if not c["ok"])
+
+
+def _assert_ok(report: dict) -> None:
+    assert report["ok"], (
+        f"{report['scenario']} seed {report['seed']} violated "
+        f"{_failing(report)}: {_details(report)}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", _FAST)
+def test_chaos_fast_matrix(name: str, seed: int):
+    _assert_ok(run_scenario(name, seed=seed))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", _SLOW)
+def test_chaos_full_matrix(name: str, seed: int):
+    _assert_ok(run_scenario(name, seed=seed))
+
+
+def test_matrix_covers_registry():
+    """The two matrices together cover every registered scenario, and the
+    registry is at least as large as the acceptance floor (8)."""
+    assert set(_FAST) | set(_SLOW) == set(SCENARIOS)
+    assert not set(_FAST) & set(_SLOW)
+    assert len(SCENARIOS) >= 8
+
+
+def test_report_shape():
+    """One scenario's report carries everything the CLI serialises."""
+    report = run_scenario("mn_single_hot", seed=1)
+    for field in ("scenario", "seed", "ok", "checks", "counters",
+                  "injections", "timeline", "recoveries", "sim_time"):
+        assert field in report, field
+    names = {c["invariant"] for c in report["checks"]}
+    assert {"no-duplicate-slot-ownership", "no-leaked-locks",
+            "monotonic-version-chains", "structural-integrity",
+            "progress"} <= names
+    assert ("zero-acked-write-loss" in names
+            or "bounded-unsealed-loss" in names)
+    assert report["counters"]["ops_acked"] > 0
+    assert report["injections"], "scenario injected nothing"

@@ -161,3 +161,51 @@ def test_injector_rejects_unknown_kind():
     injector = FailureInjector(cluster.env, cluster)
     with pytest.raises(ValueError):
         injector.schedule(FailureEvent(0.1, "switch", 0))
+
+
+def test_injector_delayed_mn_recover():
+    """With auto_recover off, a crashed MN stays FAILED until the armed
+    recover_mn event fires; recovery then runs to the full milestone."""
+    cluster = make_aceso()
+    cluster.master.auto_recover = False
+    injector = FailureInjector(cluster.env, cluster)
+    injector.schedule_mn_crash(0.005, 2)
+    injector.schedule_mn_recover(0.02, 2)
+    cluster.env.run(until=0.015)
+    # well past the detection delay, but nobody triggered recovery
+    assert cluster.master.mn_state(2) == MnState.FAILED
+    cluster.run_event(cluster.master.milestone(2, MnState.RECOVERED))
+    assert cluster.master.mn_state(2) == MnState.RECOVERED
+    kinds = [(ev.kind, ev.node_id) for ev in injector.injected]
+    assert kinds == [("mn", 2), ("recover_mn", 2)]
+
+
+def test_injector_cn_rejoin_restarts_clients():
+    cluster = make_aceso()
+    injector = FailureInjector(cluster.env, cluster)
+    cn_id = cluster.clients[0].cn.node_id
+    cli_id = cluster.clients[0].cli_id
+    injector.schedule_cn_crash(0.005, cn_id)
+    injector.schedule_cn_rejoin(0.02, cn_id)
+    cluster.env.run(until=0.01)
+    assert not cluster.cns[cn_id].alive
+    assert cn_id in cluster.master.failed_cns
+    cluster.env.run(until=0.05)
+    assert cluster.cns[cn_id].alive
+    revived = [c for c in cluster.clients
+               if c.cli_id == cli_id and c.alive]
+    assert revived, "rejoin did not restart the CN's dead client"
+    assert cn_id not in cluster.master.failed_cns
+
+
+def test_injector_trigger_recovery_guards():
+    """trigger_recovery is a no-op for nodes that are not FAILED."""
+    cluster = make_aceso()
+    assert not cluster.master.trigger_recovery(0)   # alive node
+    cluster.master.auto_recover = False
+    cluster.crash_mn(0)
+    assert cluster.master.trigger_recovery(0)       # failed node: starts
+    cluster.run_event(cluster.master.milestone(0, MnState.META_RECOVERED))
+    # past the first tier the node is no longer FAILED: re-triggering
+    # must refuse rather than race a second recovery
+    assert not cluster.master.trigger_recovery(0)

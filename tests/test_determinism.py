@@ -75,3 +75,33 @@ def test_parallel_driver_matches_serial_rows():
     repeated = run_targets(["tab02"], "smoke", seed=5, jobs=2, repeat=2)
     assert len(repeated[0].result.rows) == len(serial[0].result.rows)
     assert repeated[0].result.meta["repeat"] == 2
+
+
+# ---------------------------------------------------------------- chaos
+
+def _chaos_report_bytes(seed: int, obs=None) -> bytes:
+    """One fast chaos scenario, serialised exactly as the CLI would."""
+    import json
+
+    from repro.chaos import run_scenario
+
+    report = run_scenario("mn_single_hot", seed=seed, obs=obs)
+    return json.dumps(report, sort_keys=True).encode()
+
+
+def test_chaos_report_is_reproducible():
+    """Same scenario + seed => byte-identical invariant report (every
+    detail string, counter, injection time and recovery timeline)."""
+    assert _chaos_report_bytes(seed=3) == _chaos_report_bytes(seed=3)
+
+
+def test_chaos_report_seed_sensitivity():
+    a = _chaos_report_bytes(seed=3)
+    b = _chaos_report_bytes(seed=4)
+    assert a != b
+
+
+def test_chaos_tracing_does_not_perturb_report():
+    plain = _chaos_report_bytes(seed=3)
+    traced = _chaos_report_bytes(seed=3, obs=Observability(enabled=True))
+    assert plain == traced

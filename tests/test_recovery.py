@@ -321,3 +321,69 @@ def test_parallel_recovery_workers_preserve_data():
     report = crash_and_recover(cluster, 1)
     assert verify(cluster, expected) == []
     assert report.total_time > 0
+
+
+# ------------------------------------------------- crash-timing windows
+
+def test_crash_during_checkpoint_round():
+    """A node dying *while shipping its own checkpoint delta* must leave
+    a usable chain: the neighbour either holds a consistent older image
+    or none at all, and recovery restores every committed KV."""
+    cluster, runner, n = loaded_cluster()
+    expected = snapshot(cluster, n)
+    victim = 1
+    server = cluster.servers[victim]
+    round_started = server.next_ckpt_round()
+    cluster.env.run_until_event(round_started,
+                                limit=cluster.env.now + 2.0)
+    # the round is mid-flight (snapshot/XOR/ship all take simulated
+    # time); kill the checkpointing node before it completes
+    report = crash_and_recover(cluster, victim)
+    assert verify(cluster, expected) == []
+    assert report.total_time > 0
+
+
+def test_crash_of_checkpoint_holder_mid_round():
+    """The *neighbour* (checkpoint holder) dying mid-round: the shipping
+    server's loop absorbs the NodeFailedError, the next round restarts
+    the delta chain against a new neighbour, and the holder's own
+    recovery preserves all data."""
+    cluster, runner, n = loaded_cluster()
+    expected = snapshot(cluster, n)
+    shipper = 1
+    server = cluster.servers[shipper]
+    holder = server._ckpt_neighbor().node_id
+    round_started = server.next_ckpt_round()
+    cluster.env.run_until_event(round_started,
+                                limit=cluster.env.now + 2.0)
+    crash_and_recover(cluster, holder)
+    # the shipper must still complete a later round cleanly
+    next_round = server.next_ckpt_round()
+    cluster.env.run_until_event(next_round, limit=cluster.env.now + 2.0)
+    cluster.run(cluster.env.now + 0.1)
+    assert verify(cluster, expected) == []
+
+
+def test_crash_during_recovery_restarts_tiers():
+    """A second MN dying while the first is mid-recovery: the running
+    recovery loses its dependency, wipes the partial restoration, and
+    restarts its tiers against the surviving membership (§3.4.1).  All
+    sealed data must still come back."""
+    # exact block multiples so every block seals (two-failure guarantee
+    # covers erasure-coded data; the unsealed tail is a documented window)
+    cluster, runner, n = loaded_cluster(keys_per_client=128)
+    cluster.run(cluster.env.now + 0.1)  # drain seal + fold + Q forwards
+    expected = snapshot(cluster, n)
+    first, second = 1, 2
+    cluster.crash_mn(first)
+    meta_done = cluster.master.milestone(first, MnState.META_RECOVERED)
+    cluster.env.run_until_event(meta_done, limit=cluster.env.now + 120)
+    # first is mid-recovery (meta tier done, index/blocks pending) when
+    # its meta-replica / checkpoint neighbour dies
+    cluster.crash_mn(second)
+    for victim in (first, second):
+        done = cluster.master.milestone(victim, MnState.RECOVERED)
+        cluster.env.run_until_event(done, limit=cluster.env.now + 240)
+    assert verify(cluster, expected) == []
+    assert cluster.master.mn_state(first) == MnState.RECOVERED
+    assert cluster.master.mn_state(second) == MnState.RECOVERED
