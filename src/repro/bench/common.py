@@ -135,10 +135,19 @@ class FigureResult:
     def add(self, **row) -> None:
         self.rows.append(row)
 
-    def add_verdict(self, check: str, ok: bool, detail: str = "") -> None:
-        """Record whether one expected headline shape held in this run."""
-        self.verdicts.append({"check": check, "ok": bool(ok),
-                              "detail": detail})
+    def add_verdict(self, check: str, ok: bool, detail: str = "",
+                    *, noisy: bool = False) -> None:
+        """Record whether one expected headline shape held in this run.
+
+        ``noisy`` marks a check whose outcome is known to flip across
+        seeds at small scales; it is still reported, but excluded from
+        the aggregate ``shape_ok`` so seed-sensitive flips don't read as
+        regressions.
+        """
+        verdict = {"check": check, "ok": bool(ok), "detail": detail}
+        if noisy:
+            verdict["noisy"] = True
+        self.verdicts.append(verdict)
 
     def series(self, key: str, where: Optional[Dict] = None) -> List:
         out = []
@@ -183,7 +192,8 @@ class FigureResult:
                      for row in self.rows],
             "notes": self.notes,
             "verdicts": list(self.verdicts),
-            "shape_ok": all(v["ok"] for v in self.verdicts)
+            "shape_ok": all(v["ok"] for v in self.verdicts
+                            if not v.get("noisy"))
             if self.verdicts else None,
             "meta": dict(self.meta),
         }
@@ -336,9 +346,12 @@ def average_results(results: Sequence[FigureResult]) -> FigureResult:
         merged.rows.append(out)
     for i, verdict in enumerate(first.verdicts):
         oks = [r.verdicts[i]["ok"] for r in results if i < len(r.verdicts)]
-        merged.verdicts.append({
+        out = {
             "check": verdict["check"],
             "ok": all(oks),
             "detail": verdict["detail"] + f" [x{len(results)} repeats]",
-        })
+        }
+        if verdict.get("noisy"):
+            out["noisy"] = True
+        merged.verdicts.append(out)
     return merged

@@ -137,10 +137,17 @@ def walk_index(cluster) -> Tuple[Dict[bytes, int], Dict[str, List[str]]]:
                 dangling.append(f"{where} does not hold a live record")
                 continue
             key = record.key
-            if home_of(key, num_mns) != home:
-                broken.append(f"{where} holds {_show(key)} homed elsewhere")
-            if fingerprint8(key) != atomic.fp:
-                broken.append(f"{where} fingerprint mismatch for {_show(key)}")
+            if (home_of(key, num_mns) != home
+                    or fingerprint8(key) != atomic.fp):
+                # The record at this address no longer names the slot's
+                # key: a stale pointer into reclaimed-and-reused space.
+                # No search can ever serve it (clients validate the
+                # parsed key against the fingerprint and home), so it is
+                # structurally dangling — the slot owns nothing — rather
+                # than corrupt ownership of the squatter's key.
+                dangling.append(f"{where} stale pointer into reused "
+                                f"space (now holds {_show(key)})")
+                continue
             if key in versions:
                 duplicates.append(_show(key))
             expect = slot_version(meta.epoch, atomic.ver)
@@ -264,12 +271,14 @@ def evaluate(cluster, history: History, pre_versions: Dict[bytes, int], *,
           f"{len(problems['version_mismatch'])} slot/record mismatches"
           + (": " + _clip(regress + problems["version_mismatch"])
              if regress or problems["version_mismatch"] else ""))
-    # Dangling slots (entries pointing at dead nodes / vanished records)
-    # are the structural shadow of unsealed-tail loss: a correlated
-    # data+parity crash may leave restored index entries whose records
-    # are unrecoverable.  Scenarios that tolerate bounded loss tolerate
-    # the matching dangling entries; corruption (fingerprint or home
-    # mismatches) is never tolerated.
+    # Dangling slots (entries pointing at dead nodes, vanished records,
+    # or stale pointers into reclaimed-and-reused space) are the
+    # structural shadow of unsealed-tail loss: a correlated data+parity
+    # crash may leave restored index entries whose records are
+    # unrecoverable.  Scenarios that tolerate bounded loss tolerate the
+    # matching dangling entries; ownership corruption (two live slots
+    # serving the same key, or a slot serving a record it shouldn't) is
+    # never tolerated — the walk checks that separately.
     dangling = problems["dangling"]
     dangling_ok = (not dangling
                    or (tolerate_unsealed_loss

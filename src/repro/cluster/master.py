@@ -42,6 +42,10 @@ class Master:
         self._recovery_callback: Optional[Callable[[int], None]] = None
         self.failed_cns: Set[int] = set()
         self.failure_log: List[tuple] = []
+        #: Observers called synchronously with ("mn"|"cn", node_id) at
+        #: failure-report time (before detection delay) — the serving
+        #: front-end uses this to invalidate caches and reroute queues.
+        self._failure_listeners: List[Callable[[str, int], None]] = []
         #: When False, detection still flips client-visible state but
         #: recovery waits for an explicit :meth:`trigger_recovery` —
         #: transient-failure experiments use this to model a delayed
@@ -58,6 +62,15 @@ class Master:
     def set_recovery_callback(self, callback: Callable[[int], None]) -> None:
         """Called (once per failure, after detection) to start MN recovery."""
         self._recovery_callback = callback
+
+    def add_failure_listener(self,
+                             listener: Callable[[str, int], None]) -> None:
+        """Register an observer for failure reports (kind, node_id)."""
+        self._failure_listeners.append(listener)
+
+    def _notify_failure(self, kind: str, node_id: int) -> None:
+        for listener in self._failure_listeners:
+            listener(kind, node_id)
 
     # -- state queries (what clients consult) --------------------------------
 
@@ -110,6 +123,7 @@ class Master:
         self._mn_incarnation[node_id] = \
             self._mn_incarnation.get(node_id, 0) + 1
         self.failure_log.append((self.env.now, "mn", node_id))
+        self._notify_failure("mn", node_id)
         self._reset_milestones(node_id)
         self.env.process(self._detect_and_recover(node_id),
                          name=f"master.detect(mn{node_id})")
@@ -163,6 +177,7 @@ class Master:
     def report_cn_failure(self, node_id: int) -> None:
         self.failed_cns.add(node_id)
         self.failure_log.append((self.env.now, "cn", node_id))
+        self._notify_failure("cn", node_id)
 
     def report_cn_recovered(self, node_id: int) -> None:
         self.failed_cns.discard(node_id)

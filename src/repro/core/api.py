@@ -167,6 +167,25 @@ class AcesoClient:
             return record.value
         raise RetryBudgetExceeded(f"SEARCH {key!r}")
 
+    def search_many(self, keys) -> Generator:
+        """Batched SEARCH: resolve several keys with doorbell-batched verb
+        groups (one op cost per touched MN per stage); returns
+        ``{key: ("ok", value) | ("miss", None) | ("error", exc)}``.
+
+        Used by the serving front-end; semantically equivalent to issuing
+        :meth:`search` per key (corner cases fall back to exactly that).
+        """
+        from .multiget import search_many as _search_many
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return _search_many(self, keys, NULL_SPAN)
+        return self._traced_op("MULTIGET", self._search_many_op, keys)
+
+    def _search_many_op(self, keys, sp) -> Generator:
+        from .multiget import search_many as _search_many
+        out = yield from _search_many(self, keys, sp)
+        return out
+
     def insert(self, key: bytes, value: bytes) -> Generator:
         yield from self._write(key, value, "INSERT")
 

@@ -562,7 +562,15 @@ class MemoryNodeRecovery:
         block can be checked against the freshly read bytes and cleared
         when the record there no longer matches the slot's fingerprint
         and home.  Pointers into blocks outside the rescan set are
-        untouched since the checkpoint and stay as restored.
+        untouched since the checkpoint and stay as restored — with one
+        exception: a block that is currently *not* a DATA block (freed
+        before the crash and not yet re-granted, or repurposed as
+        parity/delta space) holds no live record by definition, yet it
+        escapes the rescan set precisely because nobody has written it
+        since.  A restored pointer into such a block is stale, and if
+        left in place it would silently go corrupt the moment the
+        allocator hands the space to a new writer — so those slots are
+        cleared here too, from block metadata alone.
         """
         spans: List[Tuple[int, int, int, Dict[int, object]]] = []
         for owner, meta, data in contents:
@@ -583,6 +591,20 @@ class MemoryNodeRecovery:
                     continue
                 checked += 1
                 ga = GlobalAddress.unpack(atomic.addr)
+                owner_mn = self.cluster.mns.get(ga.node_id)
+                if owner_mn is not None and owner_mn.alive:
+                    try:
+                        block_id, _intra = owner_mn.blocks.locate(ga.offset)
+                        stale = (owner_mn.blocks.meta[block_id].role
+                                 is not Role.DATA)
+                    except IndexError:
+                        stale = True  # outside any block area
+                    if stale:
+                        index.write_atomic(bucket, slot,
+                                           AtomicField(fp=0, ver=0, addr=0))
+                        index.write_meta(bucket, slot, MetaField(0, 0))
+                        report.scrubbed_slots += 1
+                        continue
                 for owner, lo, hi, records in spans:
                     if owner != ga.node_id or not lo <= ga.offset < hi:
                         continue

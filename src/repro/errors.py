@@ -12,6 +12,7 @@ __all__ = [
     "CodingError",
     "RecoveryError",
     "RetryBudgetExceeded",
+    "AdmissionError",
 ]
 
 
@@ -58,3 +59,11 @@ class RecoveryError(ReproError):
 
 class RetryBudgetExceeded(ReproError):
     """A client op exceeded its retry budget (livelock guard in tests)."""
+
+
+class AdmissionError(ReproError):
+    """The serving front-end shed a request (per-tenant in-flight cap)."""
+
+    def __init__(self, tenant: str):
+        super().__init__(f"tenant {tenant!r} over its in-flight budget")
+        self.tenant = tenant

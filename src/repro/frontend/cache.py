@@ -1,0 +1,83 @@
+"""Per-lane (per-CN) client-side value cache.
+
+The front-end routes every request for a key to one lane (consistent
+hashing over the alive compute nodes), so a lane's cache is coherent by
+construction: every write for a cached key flows through the same lane
+and updates or invalidates the entry before the write is acknowledged.
+The two events that break the routing invariant — a CN crash (keys move
+to surviving lanes) and an MN failure (recovery may resurrect older
+committed state for keys homed there) — clear the affected entries via
+the master's failure listener.
+
+Distinct from the protocol-level :class:`~repro.index.cache.IndexCache`
+(§3.5.1), which caches *slot addresses* and still pays a validation
+read: a front-end hit is served from CN-local memory with no fabric
+traffic at all.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..index.hashing import home_of
+
+__all__ = ["ValueCache"]
+
+
+class ValueCache:
+    """LRU key -> value map with counters."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        if not self.enabled:
+            return None
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if not self.enabled or value is None:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: bytes) -> None:
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+
+    def invalidate_home(self, node_id: int, num_mns: int) -> int:
+        """Drop every entry whose key is homed on *node_id* (MN failure:
+        recovery may restore older committed state).  Returns the count."""
+        doomed = [k for k in self._entries
+                  if home_of(k, num_mns) == node_id]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries

@@ -1,0 +1,137 @@
+"""Durability knobs: WAL and quorum modes around Aceso's native scheme.
+
+SNIPPETS.md's KVStore exemplar motivates two classic durability designs
+as a comparison axis against Aceso's checkpoint+versioning:
+
+* **wal** — each write appends a fixed-size WAL record to a log region
+  on a memory node before the core write; a background loop flushes
+  (snapshots) and truncates the log.  Models log+snapshot stores.
+* **quorum** — each committed write is echoed to ``write_quorum - 1``
+  additional memory nodes before the acknowledgement, and reads validate
+  against ``read_quorum - 1`` extra replicas.  Models R/W-quorum
+  replication.
+
+Both modes ride *on top of* Aceso's protocol: the acknowledgement still
+requires the commit CAS, so no mode ever weakens the acked-write
+invariants the chaos oracle checks — they only add fabric cost, which is
+exactly the comparison the bench draws (Aceso's native fault tolerance
+needs neither).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..errors import NodeFailedError
+from ..index.hashing import home_of
+from .request import FrontEndConfig, Request
+
+__all__ = ["DurabilityPolicy"]
+
+
+class DurabilityPolicy:
+    """Extra per-write/per-read fabric work for one durability mode."""
+
+    def __init__(self, cluster, config: FrontEndConfig):
+        self.cluster = cluster
+        self.config = config
+        self.mode = config.durability
+        self.num_mns = cluster.config.cluster.num_mns
+        self.stats = cluster.stats
+        #: Bytes appended since the last background flush, per lane id.
+        self._wal_pending: dict = {}
+
+    # -- placement helpers ----------------------------------------------
+
+    def _alive_mns(self) -> List[int]:
+        fabric = self.cluster.fabric
+        return [i for i in sorted(self.cluster.mns) if fabric.is_alive(i)]
+
+    def _wal_node(self, lane_id: int) -> int:
+        """The lane's log region placement: rotate over alive MNs."""
+        alive = self._alive_mns()
+        if not alive:
+            raise NodeFailedError(-1, "no alive MN for WAL")
+        return alive[lane_id % len(alive)]
+
+    def _replicas(self, key: bytes, count: int) -> List[int]:
+        """*count* alive MNs other than the key's home, deterministic."""
+        home = home_of(key, self.num_mns)
+        others = [i for i in self._alive_mns() if i != home]
+        start = home % max(len(others), 1)
+        ordered = others[start:] + others[:start]
+        return ordered[:count]
+
+    # -- write path -------------------------------------------------------
+
+    def write_prelude(self, client, lane_id: int,
+                      req: Request) -> Generator:
+        """Runs before the core write (WAL append)."""
+        if self.mode != "wal":
+            return
+        node = self._wal_node(lane_id)
+        mn = self.cluster.mns[node]
+        size = self.config.wal_record_size + len(req.value)
+        yield client.fabric.write(client.nic, mn.nic, size,
+                                  traffic_class="wal", track=client._track)
+        self._wal_pending[lane_id] = self._wal_pending.get(lane_id, 0) + size
+        self.stats.bump("fe_wal_appends")
+
+    def write_epilogue(self, client, req: Request) -> Generator:
+        """Runs after the commit, before the ack (quorum echo writes)."""
+        if self.mode != "quorum" or self.config.write_quorum <= 1:
+            return
+        replicas = self._replicas(req.key, self.config.write_quorum - 1)
+        size = len(req.value) + 64
+        events = []
+        for node in replicas:
+            mn = self.cluster.mns[node]
+            events.append(client.fabric.write(
+                client.nic, mn.nic, size, traffic_class="repl",
+                track=client._track,
+            ))
+        if events:
+            yield client.env.all_of(events)
+            self.stats.bump("fe_quorum_echoes", len(events))
+
+    # -- read path --------------------------------------------------------
+
+    def read_epilogue(self, client, keys: List[bytes]) -> Generator:
+        """Extra replica validation reads before acking a SEARCH batch."""
+        if self.mode != "quorum" or self.config.read_quorum <= 1:
+            return
+        events = []
+        for key in keys:
+            for node in self._replicas(key, self.config.read_quorum - 1):
+                mn = self.cluster.mns[node]
+                events.append(client.fabric.read(
+                    client.nic, mn.nic, 16, traffic_class="repl",
+                    track=client._track,
+                ))
+        if events:
+            yield client.env.all_of(events)
+            self.stats.bump("fe_quorum_reads", len(events))
+
+    # -- background flush --------------------------------------------------
+
+    def flush_loop(self, client, lane_id: int) -> Generator:
+        """Background WAL flush/truncate (snapshotting) for one lane.
+
+        Registered with a lane client so a CN crash interrupts it; a dead
+        WAL node skips the flush (the pending counter carries over)."""
+        interval = self.config.wal_flush_interval
+        while True:
+            yield client.env.timeout(interval)
+            pending = self._wal_pending.get(lane_id, 0)
+            if pending <= 0:
+                continue
+            try:
+                node = self._wal_node(lane_id)
+                mn = self.cluster.mns[node]
+                yield client.fabric.write(client.nic, mn.nic, pending,
+                                          traffic_class="wal",
+                                          track=client._track)
+            except NodeFailedError:
+                continue
+            self._wal_pending[lane_id] = 0
+            self.stats.bump("fe_wal_flushes")

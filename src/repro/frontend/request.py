@@ -1,0 +1,93 @@
+"""Request, tenant, and configuration types of the serving front-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+
+__all__ = ["FrontEndConfig", "Request", "TenantSpec"]
+
+DURABILITY_MODES = ("native", "wal", "quorum")
+
+
+@dataclass
+class FrontEndConfig:
+    """Tuning knobs of the serving layer.
+
+    ``durability`` selects the scenario axis the front-end adds around
+    Aceso's native checkpoint+versioning scheme:
+
+    * ``native`` — acknowledge at Aceso's commit CAS (the paper's
+      protocol, no extra work);
+    * ``wal``    — append a WAL record to a per-lane log region before
+      the core write, with a background flush/truncate loop (the
+      KVStore-style log+snapshot design);
+    * ``quorum`` — after the commit, echo the value to ``write_quorum-1``
+      additional memory nodes before acknowledging, and validate reads
+      against ``read_quorum-1`` extra replicas (tunable R/W quorums).
+
+    Every mode acknowledges a write only after Aceso's commit CAS has
+    landed, so the chaos oracle's acked-write invariants hold regardless
+    of the knob — the modes differ in *extra* cost, which is the point of
+    the comparison (Aceso's native scheme gets durability for free).
+    """
+
+    #: Target queueing+service latency; the adaptive batcher lingers at
+    #: most a quarter of this waiting for a batch to fill.
+    latency_target: float = 24e-6
+    max_batch: int = 16
+    #: Per-lane (per-CN) value-cache entries; 0 disables the cache.
+    cache_capacity: int = 4096
+    #: Local service time of a front-end cache hit (no fabric traffic).
+    cache_hit_time: float = 0.3e-6
+    durability: str = "native"
+    wal_record_size: int = 128
+    wal_flush_interval: float = 2e-3
+    write_quorum: int = 2
+    read_quorum: int = 1
+
+    def validate(self) -> None:
+        if self.durability not in DURABILITY_MODES:
+            raise ConfigError(
+                f"unknown durability mode {self.durability!r}; "
+                f"pick one of {DURABILITY_MODES}"
+            )
+        if self.latency_target <= 0 or self.max_batch < 1:
+            raise ConfigError("latency_target/max_batch out of range")
+        if self.write_quorum < 1 or self.read_quorum < 1:
+            raise ConfigError("quorums must be >= 1")
+
+
+@dataclass
+class TenantSpec:
+    """One tenant's traffic contract and SLO targets."""
+
+    name: str
+    trace: str                  # Twitter mix: STORAGE / COMPUTE / TRANSIENT
+    rate: float                 # open-loop arrival rate (req/s)
+    max_in_flight: int = 64     # admission cap; excess requests are shed
+    slo_p50_us: float = 50.0
+    slo_p99_us: float = 200.0
+    slo_p999_us: float = 500.0
+
+
+@dataclass
+class Request:
+    """One in-flight front-end request.
+
+    ``done`` triggers with the result value (SEARCH) or None; it fails
+    with the terminal exception on error/shed.  ``outcome`` is one of
+    "ok", "miss", "hit", "shed", "error" once settled.
+    """
+
+    tenant: str
+    verb: str
+    key: bytes
+    value: bytes
+    t_submit: float
+    done: object = None
+    outcome: Optional[str] = None
+    shed: bool = False
+    rerouted: bool = field(default=False, compare=False)

@@ -132,10 +132,14 @@ class Fabric:
                    track: Optional[str] = None) -> Event:
         """Post a doorbell-batched group of verbs to one destination.
 
-        The source pays one doorbell for the whole group (when batching is
-        enabled); the destination processes each message.  The returned
-        event triggers with the list of per-verb results — or the single
-        result when one verb was posted.
+        With doorbell batching enabled, *both* sides charge the group as
+        one doorbell ring plus per-byte wire time (atomics still pay their
+        PCIe read-modify-write each): the per-message overhead is paid
+        once for the whole group, which is the point of doorbell batching
+        (§2.4).  With batching disabled, each message pays its own
+        overhead on each side.  The returned event triggers with the list
+        of per-verb results — or the single result when one verb was
+        posted.
 
         ``track`` names the trace track a verb span is emitted on when
         tracing is enabled (clients pass their own track so verb spans
@@ -155,22 +159,34 @@ class Fabric:
         inline_max = src.config.inline_max
         src_bytes = 0
         dst_bytes = 0
-        dst_service = 0.0
-        dst_cache = dst._svc_cache
+        atomics = 0
         for v in verbs:
             src_bytes += v.src_size(inline_max)
-            wire = v.payload + WIRE_HEADER
-            dst_bytes += wire
-            key = (wire, 0, 1) if v.opcode.is_atomic else (wire, 1, 0)
-            svc = dst_cache.get(key)
-            if svc is None:
-                svc = dst.service_time(wire, doorbells=key[1],
-                                       atomics=key[2])
-            dst_service += svc
+            dst_bytes += v.payload + WIRE_HEADER
+            if v.opcode.is_atomic:
+                atomics += 1
         bbc = self.bytes_by_class
         bbc[traffic_class] = bbc.get(traffic_class, 0) + dst_bytes
-        doorbells = 1 if src.config.doorbell_batching else len(verbs)
-        src_service = src.service_time(src_bytes, doorbells=doorbells)
+        if src.config.doorbell_batching:
+            # True doorbell batching: one op cost for the group plus the
+            # per-byte cost of everything on the wire, on both sides.
+            doorbells = 1 if atomics < len(verbs) else 0
+            src_service = src.service_time(src_bytes, doorbells=1)
+            dst_service = dst.service_time(dst_bytes, doorbells=doorbells,
+                                           atomics=atomics)
+        else:
+            src_service = src.service_time(src_bytes,
+                                           doorbells=len(verbs))
+            dst_service = 0.0
+            dst_cache = dst._svc_cache
+            for v in verbs:
+                wire = v.payload + WIRE_HEADER
+                key = (wire, 0, 1) if v.opcode.is_atomic else (wire, 1, 0)
+                svc = dst_cache.get(key)
+                if svc is None:
+                    svc = dst.service_time(wire, doorbells=key[1],
+                                           atomics=key[2])
+                dst_service += svc
 
         obs = self.obs
         if obs is not None and obs.enabled:
