@@ -109,6 +109,13 @@ def walk_index(cluster) -> Tuple[Dict[bytes, int], Dict[str, List[str]]]:
     duplicates: List[str] = []
     leaked: List[str] = []
     mismatch: List[str] = []
+    # Every slot that resolves to a live record — including fp/home
+    # mismatched ones classified dangling below — registers the record's
+    # address here.  Two slots referencing the same record is ownership
+    # corruption whichever way the slots validate, and must never hide
+    # inside the tolerated-loss budget (the 8-bit fingerprint means a
+    # stale pointer can even collide and pass as a live slot).
+    record_refs: Dict[Tuple[int, int], List[str]] = {}
     for home in sorted(cluster.mns):
         mn = cluster.mns[home]
         if not mn.alive:
@@ -136,6 +143,8 @@ def walk_index(cluster) -> Tuple[Dict[bytes, int], Dict[str, List[str]]]:
             if record is None or record.invalidated:
                 dangling.append(f"{where} does not hold a live record")
                 continue
+            record_refs.setdefault((ga.node_id, ga.offset),
+                                   []).append(where)
             key = record.key
             if (home_of(key, num_mns) != home
                     or fingerprint8(key) != atomic.fp):
@@ -157,10 +166,17 @@ def walk_index(cluster) -> Tuple[Dict[bytes, int], Dict[str, List[str]]]:
                     f"{record.slot_version}"
                 )
             versions[key] = record.slot_version
+    aliased = [
+        f"mn{node}+{offset} record referenced by {len(refs)} slots: "
+        + ", ".join(sorted(refs))
+        for (node, offset), refs in sorted(record_refs.items())
+        if len(refs) > 1
+    ]
     problems = {
         "broken": sorted(broken),
         "dangling": sorted(dangling),
         "duplicates": sorted(duplicates),
+        "aliased": aliased,
         "leaked_locks": sorted(leaked),
         "version_mismatch": sorted(mismatch),
     }
@@ -261,6 +277,15 @@ def evaluate(cluster, history: History, pre_versions: Dict[bytes, int], *,
           f"{len(problems['duplicates'])} keys owned by multiple slots"
           + (": " + _clip(problems["duplicates"])
              if problems["duplicates"] else ""))
+    # Aliased records are never tolerated: even when the extra referent
+    # is an fp/home-mismatched slot (classified dangling, and so
+    # potentially inside a loss budget), two slots resolving to one
+    # record means the index has two paths to the same storage.
+    check("no-aliased-records", not problems["aliased"],
+          f"{len(problems['aliased'])} records referenced by "
+          f"multiple slots"
+          + (": " + _clip(problems["aliased"])
+             if problems["aliased"] else ""))
     check("no-leaked-locks", not problems["leaked_locks"],
           f"{len(problems['leaked_locks'])} slots left locked"
           + (": " + _clip(problems["leaked_locks"])

@@ -422,6 +422,19 @@ class MemoryNodeRecovery:
                 meta.index_version == 0 or meta.index_version >= threshold
             )
 
+        # Allocation generations of every DATA block at rescan-set build
+        # time.  Recovery takes simulated time with clients still
+        # running, so a block that is FREE now can be re-granted as DATA
+        # (and look perfectly live) by the time the scrub inspects it —
+        # the scrub compares against this snapshot to catch that.
+        data_gens: Dict[Tuple[int, int], int] = {}
+        for mn_id, mn in self.cluster.mns.items():
+            if mn_id != node_id and not mn.alive:
+                continue
+            for meta in mn.blocks.meta:
+                if meta.role is Role.DATA:
+                    data_gens[(mn_id, meta.block_id)] = meta.alloc_gen
+
         contents: List[Tuple[int, object, bytes]] = []  # (owner, meta, bytes)
 
         # 2a. recover new local blocks by erasure decoding (Recover LBlock).
@@ -478,7 +491,7 @@ class MemoryNodeRecovery:
         report.scan_kv_s = self.env.now - t3
 
         # 2d. scrub restored entries dangling into rescanned blocks.
-        yield from self._scrub_index(server, contents, report)
+        yield from self._scrub_index(server, contents, data_gens, report)
 
         # 2e. re-apply each slot to its highest-versioned KV pair.
         yield from self._apply_candidates(server, candidates, report)
@@ -546,7 +559,8 @@ class MemoryNodeRecovery:
                                         slot_size)
         return best
 
-    def _scrub_index(self, server, contents, report: RecoveryReport):
+    def _scrub_index(self, server, contents, data_gens,
+                     report: RecoveryReport):
         """Drop restored slots whose pointed-to record was reclaimed away.
 
         The checkpoint may be up to one round stale, so a restored entry
@@ -563,14 +577,20 @@ class MemoryNodeRecovery:
         when the record there no longer matches the slot's fingerprint
         and home.  Pointers into blocks outside the rescan set are
         untouched since the checkpoint and stay as restored — with one
-        exception: a block that is currently *not* a DATA block (freed
-        before the crash and not yet re-granted, or repurposed as
-        parity/delta space) holds no live record by definition, yet it
-        escapes the rescan set precisely because nobody has written it
-        since.  A restored pointer into such a block is stale, and if
-        left in place it would silently go corrupt the moment the
-        allocator hands the space to a new writer — so those slots are
-        cleared here too, from block metadata alone.
+        exception: a block that was freed (or repurposed as parity/delta
+        space) holds no live record by definition, yet it escapes the
+        rescan set precisely because nobody has written it since.  A
+        restored pointer into such a block is stale, and if left in
+        place it would silently go corrupt the moment the allocator
+        hands the space to a new writer — so those slots are cleared
+        here too, from block metadata alone.  The block's *current* role
+        is not enough to detect this: recovery takes simulated time with
+        clients still running, so a freed block can already have been
+        re-granted as DATA (but not rewritten) by the time this check
+        runs.  The staleness test therefore also compares the block's
+        allocation generation against the ``data_gens`` snapshot taken
+        when the rescan set was built — any grant since then (fresh or
+        reuse) makes every restored pointer into the block stale.
         """
         spans: List[Tuple[int, int, int, Dict[int, object]]] = []
         for owner, meta, data in contents:
@@ -595,8 +615,10 @@ class MemoryNodeRecovery:
                 if owner_mn is not None and owner_mn.alive:
                     try:
                         block_id, _intra = owner_mn.blocks.locate(ga.offset)
-                        stale = (owner_mn.blocks.meta[block_id].role
-                                 is not Role.DATA)
+                        bmeta = owner_mn.blocks.meta[block_id]
+                        stale = (bmeta.role is not Role.DATA
+                                 or data_gens.get((ga.node_id, block_id))
+                                 != bmeta.alloc_gen)
                     except IndexError:
                         stale = True  # outside any block area
                     if stale:

@@ -447,6 +447,7 @@ class AcesoServer:
         )
         meta.free_bitmap.reset()
         meta.index_version = 0
+        meta.alloc_gen += 1  # a reuse grant is a new write generation
         meta.cli_id = cli_id
         meta.reuse_time = self.env.now  # fences stale bitmap marks
         yield from self._replicate_meta(block_id)

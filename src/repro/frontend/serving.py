@@ -2,9 +2,14 @@
 
 The :class:`FrontEnd` sits between workload generators and the KV core:
 
-* **routing** — requests hash to one *lane* per alive compute node
-  (``hash64(key, b"fe-route")``), so all traffic for a key flows through
-  one lane and its value cache stays coherent by construction;
+* **routing** — requests map to one *lane* per alive compute node by
+  rendezvous (highest-random-weight) hashing, so all traffic for a key
+  flows through one lane, and a CN failure remaps only the dead lane's
+  keys (whose cache died with it) — a key can never land on a surviving
+  lane that holds a stale cached value for it.  Within a lane, reads
+  and writes for a key may still overlap across dispatchers; the value
+  cache's write-generation tokens keep fills coherent (see
+  :mod:`repro.frontend.cache`);
 * **queueing + adaptive batching** — each lane holds an async request
   queue drained by one dispatcher per client on that CN.  A dispatcher
   lingers (bounded by a quarter of the latency target) while the queue
@@ -54,6 +59,9 @@ class Lane:
     def __init__(self, env, cn_id: int, clients: List, cache_capacity: int):
         self.env = env
         self.cn_id = cn_id
+        #: Hash family for rendezvous routing: one per lane, so each
+        #: key gets an independent preference order over lanes.
+        self.route_salt = _ROUTE_SALT + b":%d" % cn_id
         self.clients = clients
         self.q: deque = deque()
         self.cache = ValueCache(cache_capacity)
@@ -170,10 +178,21 @@ class FrontEnd:
         return req
 
     def _lane_for(self, key: bytes) -> Optional[Lane]:
-        alive = [lane for lane in self.lanes if lane.alive]
-        if not alive:
-            return None
-        return alive[hash64(key, _ROUTE_SALT) % len(alive)]
+        """Rendezvous (highest-random-weight) hashing over alive lanes.
+
+        Stable under membership change: a key moves only when its own
+        lane dies, so it can never route to a surviving lane that still
+        caches a value from before an earlier failure."""
+        best = None
+        best_weight = -1
+        for lane in self.lanes:
+            if not lane.alive:
+                continue
+            weight = hash64(key, lane.route_salt)
+            if weight > best_weight:
+                best_weight = weight
+                best = lane
+        return best
 
     # -- completion ------------------------------------------------------
 
@@ -295,6 +314,11 @@ class FrontEnd:
                 todo.append(req)
         if not todo:
             return
+        # Coherence tokens captured before the fabric reads: another
+        # dispatcher on this lane may commit a write to one of these
+        # keys while our read is in flight, and its value must not be
+        # overwritten by our (older) read result.
+        tokens = {req.key: lane.cache.gen(req.key) for req in todo}
         if len(todo) == 1:
             req = todo[0]
             try:
@@ -306,7 +330,7 @@ class FrontEnd:
                 self._finish_error(req, exc)
                 return
             yield from self.durability.read_epilogue(client, [req.key])
-            lane.cache.put(req.key, value)
+            lane.cache.fill(req.key, value, tokens[req.key])
             self._finish_value(req, value, "ok")
             return
         outcomes = yield from client.search_many([r.key for r in todo])
@@ -316,7 +340,7 @@ class FrontEnd:
         for req in todo:
             kind, payload = outcomes[req.key]
             if kind == "ok":
-                lane.cache.put(req.key, payload)
+                lane.cache.fill(req.key, payload, tokens[req.key])
                 self._finish_value(req, payload, "ok")
             elif kind == "miss":
                 self._finish_value(req, None, "miss")
@@ -380,5 +404,7 @@ class FrontEnd:
             "cache_misses": sum(ln.cache.misses for ln in self.lanes),
             "cache_invalidations": sum(ln.cache.invalidations
                                        for ln in self.lanes),
+            "cache_stale_fills": sum(ln.cache.stale_fills
+                                     for ln in self.lanes),
         }
         return out

@@ -126,6 +126,12 @@ class BlockMeta:
     #: generation and must be dropped — otherwise a late flush marks live
     #: slots of the new generation as obsolete (reuse ABA).
     reuse_time: float = -1.0
+    #: Monotonic count of times this block was handed to a writer (fresh
+    #: allocation or reuse grant).  Not part of the Fig. 5 wire format —
+    #: node-local liveness info the recovery scrub uses to tell "DATA,
+    #: untouched since the checkpoint" from "freed and re-granted while
+    #: recovery was running" (the roles alone are indistinguishable).
+    alloc_gen: int = 0
     free_bitmap: Optional[FreeBitmap] = None
     # PARITY-only:
     xor_map: int = 0                   # bit i set => data block i encoded in
@@ -233,6 +239,7 @@ class BlockStore:
         meta = self.meta[block_id]
         meta.role = role
         meta.valid = True
+        meta.alloc_gen += 1
         meta.cli_id = cli_id
         meta.index_version = 0
         meta.xor_id = 0
@@ -256,6 +263,7 @@ class BlockStore:
         meta = self.meta[block_id]
         meta.role = role
         meta.valid = True
+        meta.alloc_gen += 1
         meta.cli_id = cli_id
         meta.index_version = 0
         meta.xor_id = 0

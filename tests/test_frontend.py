@@ -183,6 +183,39 @@ def test_cn_crash_reroutes_queued_requests():
     assert all(r.rerouted for r in reqs)
 
 
+def test_routing_stable_across_cn_failure():
+    """Rendezvous routing: a CN failure remaps only the dead lane's
+    keys; every other key keeps its lane (whose cache stays valid)."""
+    cluster, fe = make_frontend(num_cns=3)
+    keys = [micro_key(7, i) for i in range(64)]
+    before = {k: fe._lane_for(k) for k in keys}
+    assert len({lane.cn_id for lane in before.values()}) == 3
+    victim = fe.lanes[0]
+    cluster.crash_cn(victim.cn_id)
+    for k in keys:
+        if before[k] is victim:
+            assert fe._lane_for(k) is not victim
+        else:
+            assert fe._lane_for(k) is before[k]
+
+
+def test_second_cn_failure_never_serves_stale_cache():
+    """Reviewer scenario: after two CN failures a key must never route
+    to a lane that cached its value before an earlier failure while the
+    interim writes flowed through a different lane."""
+    cluster, fe = make_frontend(num_cns=3)
+    keys = [micro_key(7, i) for i in range(40)]
+    old, new = b"a" * 100, b"b" * 100
+    for k in keys:
+        fe_call(cluster, fe, "INSERT", k, old)
+    cluster.crash_cn(fe.lanes[0].cn_id)
+    for k in keys:
+        fe_call(cluster, fe, "UPDATE", k, new)
+    cluster.crash_cn(next(ln for ln in fe.lanes if ln.alive).cn_id)
+    for k in keys:
+        assert fe_call(cluster, fe, "SEARCH", k) == new
+
+
 # ------------------------------------------------------------ durability
 
 def test_wal_mode_counts_appends_and_flushes():
@@ -224,6 +257,50 @@ def test_multiget_matches_single_search():
 
 
 # ------------------------------------------------------------ value cache
+
+def test_value_cache_fill_tokens():
+    """Read fills are conditional: any write-path mutation (or failure
+    invalidation) between token capture and fill drops the fill."""
+    cache = ValueCache(capacity=8)
+    key = micro_key(1, 10)
+    token = cache.gen(key)
+    assert cache.fill(key, b"v1", token)      # no intervening write
+    assert cache.get(key) == b"v1"
+    token = cache.gen(key)
+    cache.put(key, b"v2")                     # a write completed
+    assert not cache.fill(key, b"v1", token)  # stale read result dropped
+    assert cache.get(key) == b"v2"
+    token = cache.gen(key)
+    cache.invalidate(key)                     # delete also staleness
+    assert not cache.fill(key, b"v2", token)
+    assert key not in cache
+    token = cache.gen(key)
+    cache.clear()                             # failure epoch bump
+    assert not cache.fill(key, b"v2", token)
+    assert cache.stale_fills == 3
+
+
+def test_read_fill_cannot_overwrite_concurrent_write():
+    """A lane runs one dispatcher per client, so a slow fabric read can
+    complete after a concurrent write to the same key was acknowledged;
+    the read's value must not clobber the newer cached value."""
+    cluster, fe = make_frontend()
+    key = micro_key(7, 60)
+    old, new = b"a" * 100, b"b" * 100
+    load_core_keys(cluster, [key], value=old)
+    lane = fe._lane_for(key)
+    req = fe.submit("t0", "SEARCH", key)
+    # Let the dispatcher pop the request and issue its fabric read...
+    cluster.run(cluster.env.now + 2e-6)
+    assert not req.done.triggered, "search finished before the write"
+    # ...then a concurrent dispatcher commits a newer value and acks.
+    lane.cache.put(key, new)
+    cluster.run_event(req.done)
+    # The in-flight read returned the old value to its caller (the ops
+    # overlapped, so that is linearizable) but must not cache it.
+    assert lane.cache.get(key) == new
+    assert lane.cache.stale_fills >= 1
+
 
 def test_value_cache_lru_and_home_invalidation():
     cache = ValueCache(capacity=2)

@@ -140,6 +140,38 @@ def test_invariants_after_recovery():
     assert check_invariants(cluster) == []
 
 
+def test_oracle_flags_aliased_records():
+    """A record referenced by two index slots is ownership corruption
+    and must surface from the chaos oracle's walk even when the extra
+    referent is fp/home-mismatched — i.e. classified as a dangling slot,
+    which lossy scenarios would otherwise fold into the loss budget."""
+    from repro.chaos.oracle import walk_index
+
+    cluster = make_aceso()
+    client = cluster.clients[0]
+    key = b"aliased-key"
+    cluster.run_op(client.insert(key, b"x" * 100))
+    num_mns = cluster.config.cluster.num_mns
+    home = home_of(key, num_mns)
+    index = cluster.mns[home].index
+    slots = [(b, s) for b, s, _word in index.iter_slots()]
+    assert len(slots) == 1
+    bucket, slot = slots[0]
+    _, problems = walk_index(cluster)
+    assert problems["aliased"] == []
+    # Plant a stale pointer to the same record in another MN's index —
+    # home-mismatched there, so it reads as dangling, not duplicate.
+    other = cluster.mns[(home + 1) % num_mns].index
+    assert other.read_atomic(0, 0).empty
+    other.write_atomic(0, 0, index.read_atomic(bucket, slot))
+    other.write_meta(0, 0, index.read_meta(bucket, slot))
+    versions, problems = walk_index(cluster)
+    assert key in versions                 # the proper slot still owns it
+    assert problems["dangling"]            # the alias itself: mismatched
+    assert len(problems["aliased"]) == 1
+    assert "referenced by 2 slots" in problems["aliased"][0]
+
+
 def test_invariants_after_reclamation_cycles():
     cluster = make_aceso(blocks_per_mn=20, block_size=8 * 1024, kv_size=256)
     runner = WorkloadRunner(cluster)

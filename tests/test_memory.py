@@ -235,6 +235,24 @@ def test_store_allocate_and_free():
     assert store.free_fraction() == 1.0
 
 
+def test_store_allocation_generation_bumps_per_grant():
+    """Every grant of a block (fresh or re-grant after a free) bumps its
+    allocation generation — the recovery scrub uses the generation to
+    tell an untouched DATA block from one freed and re-granted while
+    recovery was running, which the role alone cannot distinguish."""
+    store = make_store()
+    meta = store.allocate(Role.DATA, slot_size=256, slots=4)
+    first = meta.alloc_gen
+    assert first >= 1
+    store.free(meta.block_id)
+    again = store.allocate_specific(meta.block_id, Role.DATA,
+                                    slot_size=256, slots=4)
+    assert again is meta and again.alloc_gen == first + 1
+    # The generation is node-local liveness info, not wire format: a
+    # serialised round-trip must neither fail nor carry it.
+    assert BlockMeta.unpack(meta.block_id, meta.pack()).alloc_gen == 0
+
+
 def test_store_double_free_rejected():
     store = make_store()
     meta = store.allocate(Role.DELTA)
