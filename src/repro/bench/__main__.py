@@ -6,6 +6,7 @@ import argparse
 import sys
 import time
 
+from ..sim import available_backends, use_backend
 from . import REGISTRY, SCALES
 from .parallel import run_targets
 
@@ -42,7 +43,16 @@ def main(argv=None) -> int:
                              "utilization/timeline report and export "
                              "TRACE_<figure>_s<seed>_<n>.json "
                              "(Chrome-trace format) per cluster built")
+    parser.add_argument("--scheduler", choices=available_backends(),
+                        default=None,
+                        help="event-queue backend for every simulation "
+                             "in this run (default: $REPRO_SCHEDULER or "
+                             "heapq; results are bit-identical across "
+                             "backends)")
     args = parser.parse_args(argv)
+
+    if args.scheduler:
+        use_backend(args.scheduler)
 
     if args.target == "list":
         print("Available targets:")

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..sim import sched_provenance
 from .common import FigureResult, average_results, set_seed, set_tracing
 
 __all__ = ["Cell", "FigureRun", "run_targets"]
@@ -97,7 +98,11 @@ def run_targets(targets: Sequence[str], scale: str, *, seed: int = 0,
         merged = average_results(results)
         # ``jobs`` is deliberately NOT recorded: the json must be
         # byte-identical between serial and parallel runs of one seed.
-        merged.meta.update(seed=seed, repeat=repeat, scale=scale)
+        # The scheduler provenance IS recorded (workers inherit the
+        # same resolved backend), along with whether the compiled
+        # flat-heap kernel was importable.
+        merged.meta.update(seed=seed, repeat=repeat, scale=scale,
+                           **sched_provenance())
         reports = [r for _, rs, _ in by_name[name] for r in rs]
         cpu = sum(elapsed for _, _, elapsed in by_name[name])
         runs.append(FigureRun(name=name, result=merged,

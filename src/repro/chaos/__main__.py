@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..bench.common import FigureResult
 from ..obs import Observability
+from ..sim import available_backends, sched_provenance, use_backend
 from .engine import run_scenario
 from .scenarios import SCENARIOS, fast_scenarios
 
@@ -34,7 +35,8 @@ def run_matrix(names: Sequence[str], seeds: Sequence[int],
         notes="Oracle: zero acked-write loss (or bounded unsealed loss "
               "where marked), no duplicate slot ownership, no leaked "
               "locks, monotonic version chains.",
-        meta={"seeds": list(seeds), "scenarios": list(names)},
+        meta={"seeds": list(seeds), "scenarios": list(names),
+              **sched_provenance()},
     )
     per_scenario: Dict[str, List[dict]] = {}
     for name in names:
@@ -94,7 +96,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(reports are identical either way)")
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and exit")
+    parser.add_argument("--scheduler", choices=available_backends(),
+                        default=None,
+                        help="event-queue backend (default: "
+                             "$REPRO_SCHEDULER or heapq; verdicts are "
+                             "identical across backends)")
     args = parser.parse_args(argv)
+
+    if args.scheduler:
+        use_backend(args.scheduler)
 
     if args.list:
         width = max(len(n) for n in SCENARIOS)

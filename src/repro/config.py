@@ -24,6 +24,7 @@ __all__ = [
     "ReclamationConfig",
     "FaultToleranceConfig",
     "ClusterConfig",
+    "SimConfig",
     "SystemConfig",
     "aceso_config",
     "fusee_config",
@@ -211,6 +212,29 @@ class ClusterConfig:
 
 
 @dataclass
+class SimConfig:
+    """Simulation-engine knobs (not part of the modelled system).
+
+    ``scheduler`` selects the event-queue backend by name ("heapq",
+    "calendar", "flatheap"); the default "auto" resolves the
+    ``REPRO_SCHEDULER`` environment variable (set by ``--scheduler`` on
+    the CLI entry points) and falls back to the heapq reference.  All
+    backends dispatch bit-identically, so this is purely a speed knob
+    — results never depend on it.
+    """
+
+    scheduler: str = "auto"
+
+    def validate(self) -> None:
+        from .sim.sched import resolve_backend
+
+        try:
+            resolve_backend(self.scheduler)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from None
+
+
+@dataclass
 class SystemConfig:
     """Everything needed to build one system under test."""
 
@@ -219,6 +243,7 @@ class SystemConfig:
     coding: CodingConfig = field(default_factory=CodingConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     reclamation: ReclamationConfig = field(default_factory=ReclamationConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
     seed: int = 42
     name: str = "aceso"
 
@@ -226,6 +251,7 @@ class SystemConfig:
         self.cluster.validate()
         self.ft.validate()
         self.coding.validate()
+        self.sim.validate()
         if self.ft.kv_scheme == "ec" and self.coding.group_size > self.cluster.num_mns:
             raise ConfigError(
                 f"coding group of {self.coding.group_size} MNs does not fit "

@@ -12,6 +12,7 @@ import argparse
 import sys
 
 from ..bench.common import SCALES
+from ..sim import available_backends, use_backend
 from .bench import run_frontend
 from .request import DURABILITY_MODES
 
@@ -40,7 +41,15 @@ def main(argv=None) -> int:
                              "(results are identical either way)")
     parser.add_argument("--no-chaos", action="store_true",
                         help="skip the chaos-through-frontend check")
+    parser.add_argument("--scheduler", choices=available_backends(),
+                        default=None,
+                        help="event-queue backend (default: "
+                             "$REPRO_SCHEDULER or heapq; results are "
+                             "identical across backends)")
     args = parser.parse_args(argv)
+
+    if args.scheduler:
+        use_backend(args.scheduler)
 
     modes = tuple(args.durability) if args.durability else DURABILITY_MODES
     result = run_frontend(scale_name=args.scale, seed=args.seed,

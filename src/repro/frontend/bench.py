@@ -18,6 +18,7 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from ..bench.common import SCALES, FigureResult, Scale, build_cluster
+from ..sim import sched_provenance
 from ..workloads import WorkloadRunner, twitter_stream, ycsb_load_ops
 from .chaos import run_frontend_chaos
 from .request import DURABILITY_MODES, FrontEndConfig, TenantSpec
@@ -209,5 +210,6 @@ def run_frontend(scale_name: str = "smoke", seed: int = 0,
         "durability": list(durability),
         "tenants": [spec.name for spec in specs],
         "counters": mode_counters,
+        **sched_provenance(),
     })
     return result

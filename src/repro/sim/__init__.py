@@ -1,5 +1,13 @@
-"""Discrete-event simulation substrate (engine, resources, statistics)."""
+"""Discrete-event simulation substrate (engine, schedulers, resources,
+statistics)."""
 
+from .sched import (
+    available_backends,
+    make_scheduler,
+    resolve_backend,
+    sched_provenance,
+    use_backend,
+)
 from .engine import (
     AllOf,
     AnyOf,
@@ -31,4 +39,9 @@ __all__ = [
     "OpStats",
     "StatsRegistry",
     "percentile",
+    "available_backends",
+    "make_scheduler",
+    "resolve_backend",
+    "sched_provenance",
+    "use_backend",
 ]

@@ -7,13 +7,21 @@ that yield :class:`Event` objects and are resumed when those events trigger.
 The Aceso reproduction runs every node (client, memory-node server, master)
 as a process on one shared environment.  Simulated time is a float in
 seconds; the engine itself attaches no meaning to the unit.
+
+The event queue itself is pluggable (see :mod:`repro.sim.sched`): the
+``heapq`` reference backend, a calendar queue tuned for the simulator's
+clustered timestamps, and a flat-buffer binary heap all dispatch in
+bit-identical order — ascending ``(time, seq)`` with ``seq`` assigned
+at scheduling time, so same-timestamp events run in FIFO (insertion)
+order.  That tie-break contract is load-bearing for determinism and is
+pinned by the differential suites in ``tests/``.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .sched import make_scheduler
 
 __all__ = [
     "Environment",
@@ -44,6 +52,12 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+#: Sentinel stored in ``Event.callbacks`` once an event is cancelled:
+#: distinguishes "cancelled, never run callbacks" from "already
+#: dispatched" (``None``).  A tuple so accidental ``append`` fails loudly.
+_CANCELLED = ()
+
+
 class Event:
     """A one-shot occurrence that processes can wait on.
 
@@ -71,6 +85,11 @@ class Event:
         return self._ok
 
     @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before dispatch."""
+        return self.callbacks is _CANCELLED
+
+    @property
     def value(self) -> Any:
         if not self._triggered:
             raise SimulationError("value of untriggered event")
@@ -83,7 +102,7 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        heapq.heappush(env._heap, (env.now, next(env._seq), self))
+        env._push(env.now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -95,8 +114,13 @@ class Event:
         self._ok = False
         self._value = exc
         env = self.env
-        heapq.heappush(env._heap, (env.now, next(env._seq), self))
+        env._push(env.now, self)
         return self
+
+    def cancel(self) -> bool:
+        raise SimulationError(
+            "only queued Timeout/Deferred events can be cancelled"
+        )
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -108,24 +132,26 @@ class Event:
         """Register *cb* to run when this event triggers.
 
         If the event has already triggered and been dispatched, the callback
-        runs immediately (same simulation time).
+        runs immediately (same simulation time).  Callbacks added to a
+        *cancelled* event are dropped: it will never fire.
         """
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             cb(self)
-        else:
-            self.callbacks.append(cb)
+        elif callbacks is not _CANCELLED:
+            callbacks.append(cb)
 
 
 class Timeout(Event):
     """An event that triggers after a fixed delay.
 
     The constructor is a hot path (hundreds of thousands per simulated
-    second): it assigns every slot directly and pushes onto the heap
+    second): it assigns every slot directly and pushes onto the scheduler
     inline rather than chaining through ``Event.__init__`` and
     ``Environment._schedule``.
     """
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_qseq")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -136,7 +162,18 @@ class Timeout(Event):
         self._ok = True
         self._triggered = True
         self.delay = delay
-        heapq.heappush(env._heap, (env.now + delay, next(env._seq), self))
+        self._qseq = env._push(env.now + delay, self)
+
+    def cancel(self) -> bool:
+        """Remove this timeout from the queue before it fires.
+
+        Returns True if the timeout was still pending (its callbacks
+        will now never run); False if it had already dispatched.
+        """
+        if self.callbacks is None or self.callbacks is _CANCELLED:
+            return False
+        self.callbacks = _CANCELLED
+        return self.env.sched.cancel(self._qseq)
 
 
 class Deferred(Event):
@@ -145,7 +182,7 @@ class Deferred(Event):
     Where a :class:`Timeout` carries a preset value, a Deferred runs its
     ``resolver`` when dispatched: the return value succeeds the event, a
     raised exception fails it.  Callbacks then run in the same dispatch —
-    one heap entry covers schedule + resolution + callback fan-out, which
+    one queue entry covers schedule + resolution + callback fan-out, which
     is what makes it the fast path for RDMA verb completions (the old
     shape was two NIC-drain timeouts, an RTT timeout, and a separate
     trigger push for the result event).
@@ -154,7 +191,7 @@ class Deferred(Event):
     ``triggered``/``value`` behave like a plain :class:`Event`.
     """
 
-    __slots__ = ("_resolver",)
+    __slots__ = ("_resolver", "_qseq")
 
     def __init__(self, env: "Environment", at: float,
                  resolver: Callable[[], Any]):
@@ -167,7 +204,7 @@ class Deferred(Event):
         self._ok = True
         self._triggered = False
         self._resolver = resolver
-        heapq.heappush(env._heap, (at, next(env._seq), self))
+        self._qseq = env._push(at, self)
 
     def _run_callbacks(self) -> None:
         try:
@@ -183,6 +220,35 @@ class Deferred(Event):
         if callbacks:
             for cb in callbacks:
                 cb(self)
+
+    def cancel(self) -> bool:
+        """Remove this deferred from the queue before it resolves.
+
+        Returns True if it was still pending (the resolver and callbacks
+        will now never run); False if it had already dispatched.
+        """
+        if self.callbacks is None or self.callbacks is _CANCELLED:
+            return False
+        self.callbacks = _CANCELLED
+        return self.env.sched.cancel(self._qseq)
+
+    def reschedule(self, at: float) -> "Deferred":
+        """Move an un-fired deferred to resolve at time ``at`` instead.
+
+        The entry is re-queued with a fresh seq, so among events sharing
+        the new timestamp it dispatches *after* ones already scheduled
+        there (the FIFO tie-break treats a reschedule as a new arrival).
+        Raises :class:`SimulationError` if the deferred already fired or
+        was cancelled.
+        """
+        if self._triggered or self.callbacks is None:
+            raise SimulationError("cannot reschedule a fired Deferred")
+        if self.callbacks is _CANCELLED:
+            raise SimulationError("cannot reschedule a cancelled Deferred")
+        env = self.env
+        env.sched.cancel(self._qseq)
+        self._qseq = env._push(at, self)
+        return self
 
 
 class Process(Event):
@@ -315,12 +381,21 @@ class AnyOf(Event):
 
 
 class Environment:
-    """Owns simulated time and the event queue."""
+    """Owns simulated time and the event queue.
 
-    def __init__(self):
+    ``scheduler`` picks the queue backend by name (see
+    :mod:`repro.sim.sched`); ``None``/"auto" resolves ``$REPRO_SCHEDULER``
+    and falls back to the ``heapq`` reference.  All backends dispatch in
+    bit-identical order, so the choice is a pure performance knob.
+    """
+
+    def __init__(self, scheduler: Optional[str] = None):
         self.now: float = 0.0
-        self._heap: list = []
-        self._seq = itertools.count()
+        #: The scheduler backend; ``sched.name`` identifies it.
+        self.sched = make_scheduler(scheduler)
+        #: Bound push method — the scheduling hot path used by every
+        #: event constructor (one attribute lookup saved per schedule).
+        self._push = self.sched.push
         #: Processes that terminated with an uncaught exception.  Harness
         #: code asserts this stays empty so failures never pass silently
         #: (intentional interrupts of crashed-node processes are exempt:
@@ -331,14 +406,19 @@ class Environment:
         """Failed processes whose exception is not an :class:`Interrupt`."""
         return [p for p in self.failed if not isinstance(p.value, Interrupt)]
 
+    @property
+    def scheduled_count(self) -> int:
+        """Total events ever scheduled (the engine's work counter)."""
+        return self.sched.pushes
+
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+        self._push(self.now + delay, event)
 
     def _queue_trigger(self, event: Event) -> None:
         """Queue an already-triggered event's callbacks to run now."""
-        heapq.heappush(self._heap, (self.now, next(self._seq), event))
+        self._push(self.now, event)
 
     # -- public API ------------------------------------------------------
 
@@ -372,31 +452,34 @@ class Environment:
         When *until* is given, ``now`` is advanced to exactly ``until`` even
         if the queue drains earlier (so throughput windows are well-defined).
         """
-        heap = self._heap
-        pop = heapq.heappop
+        pop = self.sched.pop
         if until is None:
-            while heap:
-                when, __, event = pop(heap)
-                self.now = when
-                event._run_callbacks()
-            return
-        while heap and heap[0][0] <= until:
-            when, __, event = pop(heap)
-            self.now = when
-            event._run_callbacks()
+            while True:
+                entry = pop()
+                if entry is None:
+                    return
+                self.now = entry[0]
+                entry[2]._run_callbacks()
+        while True:
+            entry = pop(until)
+            if entry is None:
+                break
+            self.now = entry[0]
+            entry[2]._run_callbacks()
         self.now = max(self.now, until)
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
         """Run until *event* triggers; returns its value (raises on failure)."""
-        heap = self._heap
+        pop = self.sched.pop
         while not event.triggered:
-            if not heap:
+            entry = pop()
+            if entry is None:
                 raise SimulationError("queue drained before event triggered")
-            when, __, ev = heapq.heappop(heap)
+            when = entry[0]
             if when > limit:
                 raise SimulationError(f"time limit {limit} exceeded")
             self.now = when
-            ev._run_callbacks()
+            entry[2]._run_callbacks()
         if not event.ok:
             raise event.value
         return event.value

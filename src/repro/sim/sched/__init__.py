@@ -1,0 +1,136 @@
+"""Pluggable event-queue backends for the simulation engine.
+
+The engine dispatches every scheduled occurrence through one
+*scheduler*: a priority queue of ``(when, seq, item)`` entries ordered
+by ``(when, seq)``.  ``seq`` is a monotonically increasing integer
+assigned at push time, which is what gives the simulator its FIFO
+tie-break contract: two events scheduled for the same instant dispatch
+in insertion order.  Every backend must honour that contract *exactly*
+— ``tests/test_sched_equivalence.py`` and the fuzz battery in
+``tests/test_sched_fuzz.py`` hold all backends to bit-identical pop
+order against the ``heapq`` reference.
+
+Backends
+--------
+
+``heapq``
+    The reference: a binary heap of tuples via :mod:`heapq` (C
+    implementation).  O(log n) per operation; unbeatable at small
+    pending populations.
+``calendar``
+    A self-resizing calendar queue with lazily sorted buckets, tuned
+    for the simulator's clustered timestamps (NIC service quanta).
+    O(1) amortised push/pop independent of population — the backend
+    that unlocks hyperscale geometries (tens of thousands of pending
+    events), where the heap's log factor dominates.
+``flatheap``
+    A binary heap over contiguous ``array`` buffers (``double`` times,
+    ``uint64`` seqs, ``long`` payload indexes) — no per-entry tuple
+    objects.  The sift loops live in the compile-friendly kernel
+    :mod:`repro.sim.sched._flatheap_core`; when a mypyc/Cython-compiled
+    variant is importable it is used instead (gated like the lz4
+    codec), and the pure-python fallback is kept bit-identical.
+
+Selection
+---------
+
+``Environment(scheduler=...)`` takes a backend name.  ``None``/"auto"
+resolves the ``REPRO_SCHEDULER`` environment variable and falls back
+to ``heapq``; :class:`repro.config.SimConfig` carries the same knob
+through cluster construction, and ``--scheduler`` on the CLI entry
+points (``repro.bench``, ``repro.chaos``, ``repro.frontend``,
+``benchmarks/sim_perf.py``) exports it for the whole run, including
+forked ``--jobs`` workers.
+
+Scheduler interface (duck-typed; no ABC so hot paths stay cheap):
+
+``push(when, item) -> seq``
+    Enqueue ``item`` at time ``when``; returns the entry's seq.
+``pop(limit=None) -> (when, seq, item) | None``
+    Remove and return the minimum entry, or ``None`` when the queue is
+    empty or the minimum is later than ``limit``.
+``cancel(seq) -> bool``
+    Tombstone a *pending* entry (caller guarantees ``seq`` has not yet
+    popped); it will never be returned by ``pop``.
+``len(sched)``
+    Live (non-cancelled, un-popped) entry count.
+``sched.pushes``
+    Total entries ever pushed (the engine's event counter).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from .calendar import CalendarScheduler
+from .flatheap import COMPILED as FLATHEAP_COMPILED
+from .flatheap import FlatHeapScheduler
+from .heapq_backend import HeapqScheduler
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "make_scheduler",
+    "resolve_backend",
+    "use_backend",
+    "sched_provenance",
+    "HeapqScheduler",
+    "CalendarScheduler",
+    "FlatHeapScheduler",
+    "FLATHEAP_COMPILED",
+]
+
+#: Environment variable consulted by the "auto" resolution.
+ENV_VAR = "REPRO_SCHEDULER"
+
+DEFAULT_BACKEND = "heapq"
+
+BACKENDS: Dict[str, type] = {
+    "heapq": HeapqScheduler,
+    "calendar": CalendarScheduler,
+    "flatheap": FlatHeapScheduler,
+}
+
+
+def available_backends() -> List[str]:
+    """Backend names, reference first (stable order for reports)."""
+    return list(BACKENDS)
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve *name* (or "auto"/None -> $REPRO_SCHEDULER -> default)."""
+    if name is None or name == "" or name == "auto":
+        name = os.environ.get(ENV_VAR, "") or DEFAULT_BACKEND
+    name = name.lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown scheduler backend {name!r}; "
+            f"available: {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def make_scheduler(name: Optional[str] = None):
+    """Construct the scheduler backend *name* (resolved as above)."""
+    return BACKENDS[resolve_backend(name)]()
+
+
+def use_backend(name: str) -> str:
+    """Select *name* for every Environment built after this call
+    (exported via the environment so forked bench workers inherit it).
+    Returns the resolved name."""
+    resolved = resolve_backend(name)
+    os.environ[ENV_VAR] = resolved
+    return resolved
+
+
+def sched_provenance(name: Optional[str] = None) -> Dict[str, object]:
+    """Provenance block for BENCH json meta: the backend any cluster
+    built under the current selection will use, and whether the
+    flatheap compiled kernel was importable."""
+    return {
+        "scheduler": resolve_backend(name),
+        "sched_compiled": FLATHEAP_COMPILED,
+    }

@@ -1,0 +1,70 @@
+"""Flat binary-heap kernel over contiguous buffers (pure-python path).
+
+The heap is three parallel buffers — ``times`` (``array('d')``),
+``seqs`` (``array('Q')``) and ``idxs`` (``array('l')``, payload-pool
+indexes) — ordered by ``(time, seq)``.  Keeping the kernel as
+module-level functions with scalar locals and no closures makes it
+compile cleanly under mypyc or Cython (``tools/build_sched.py``); the
+compiled variant, when importable, is picked up by
+:mod:`repro.sim.sched.flatheap` exactly like the lz4 codec gate, and
+this pure-python fallback is the bit-identical reference for it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["heap_push", "heap_pop"]
+
+
+def heap_push(times, seqs, idxs, when: float, seq: int, idx: int) -> None:
+    """Insert ``(when, seq, idx)``, restoring heap order by sift-up."""
+    times.append(when)
+    seqs.append(seq)
+    idxs.append(idx)
+    pos = len(times) - 1
+    while pos > 0:
+        parent = (pos - 1) >> 1
+        pt = times[parent]
+        if when < pt or (when == pt and seq < seqs[parent]):
+            times[pos] = pt
+            seqs[pos] = seqs[parent]
+            idxs[pos] = idxs[parent]
+            pos = parent
+        else:
+            break
+    times[pos] = when
+    seqs[pos] = seq
+    idxs[pos] = idx
+
+
+def heap_pop(times, seqs, idxs):
+    """Remove and return the root ``(when, seq, idx)`` via sift-down."""
+    when = times[0]
+    seq = seqs[0]
+    idx = idxs[0]
+    lw = times.pop()
+    ls = seqs.pop()
+    li = idxs.pop()
+    size = len(times)
+    if size > 0:
+        pos = 0
+        child = 1
+        while child < size:
+            right = child + 1
+            if right < size:
+                ct = times[child]
+                rt = times[right]
+                if rt < ct or (rt == ct and seqs[right] < seqs[child]):
+                    child = right
+            ct = times[child]
+            if ct < lw or (ct == lw and seqs[child] < ls):
+                times[pos] = ct
+                seqs[pos] = seqs[child]
+                idxs[pos] = idxs[child]
+                pos = child
+                child = (pos << 1) + 1
+            else:
+                break
+        times[pos] = lw
+        seqs[pos] = ls
+        idxs[pos] = li
+    return when, seq, idx

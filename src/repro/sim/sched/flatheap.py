@@ -1,0 +1,97 @@
+"""Flat-heap scheduler: binary heap over contiguous ``array`` buffers.
+
+Entries live in three parallel typed buffers (``double`` times,
+``uint64`` seqs, ``long`` payload-pool indexes) instead of per-entry
+tuple objects, so the heap is cache-dense and allocation-free on the
+hot path; payloads sit in a pooled Python list addressed by index
+(free slots recycled).  The sift loops are in the compile-friendly
+kernel :mod:`repro.sim.sched._flatheap_core`; when a mypyc/Cython
+build of that kernel is importable (``tools/build_sched.py``) it is
+used instead — gated on importability exactly like the lz4 checkpoint
+codec, with this pure-python path kept bit-identical.
+
+Interpreted, the python-level sift makes this backend slower than the
+C-implemented ``heapq`` reference — it exists as the substrate for
+the compiled event core (and as a second differential witness for the
+ordering contract), not as the pure-python speed backend; that role
+belongs to :class:`~repro.sim.sched.calendar.CalendarScheduler`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Tuple
+
+try:                                     # compiled kernel, if built
+    from . import _flatheap_core_compiled as _core  # type: ignore
+    COMPILED = True
+except ImportError:                      # pure-python fallback
+    from . import _flatheap_core as _core
+    COMPILED = False
+
+__all__ = ["FlatHeapScheduler", "COMPILED"]
+
+_heap_push = _core.heap_push
+_heap_pop = _core.heap_pop
+
+
+class FlatHeapScheduler:
+    """Binary heap in flat buffers; see module docstring."""
+
+    name = "flatheap"
+
+    __slots__ = ("_times", "_seqs", "_idxs", "_items", "_free", "_n",
+                 "_cancelled")
+
+    def __init__(self):
+        self._times = array("d")
+        self._seqs = array("Q")
+        self._idxs = array("l")
+        self._items: list = []     # payload pool
+        self._free: list = []      # recycled pool slots
+        self._n = 0
+        self._cancelled: set = set()
+
+    def push(self, when: float, item) -> int:
+        seq = self._n
+        self._n = seq + 1
+        free = self._free
+        if free:
+            idx = free.pop()
+            self._items[idx] = item
+        else:
+            idx = len(self._items)
+            self._items.append(item)
+        _heap_push(self._times, self._seqs, self._idxs, when, seq, idx)
+        return seq
+
+    def pop(self, limit: Optional[float] = None) -> Optional[Tuple]:
+        times = self._times
+        cancelled = self._cancelled
+        while times:
+            if limit is not None and times[0] > limit:
+                return None
+            when, seq, idx = _heap_pop(times, self._seqs, self._idxs)
+            item = self._items[idx]
+            self._items[idx] = None
+            self._free.append(idx)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            return (when, seq, item)
+        return None
+
+    def cancel(self, seq: int) -> bool:
+        self._cancelled.add(seq)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._times) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self._times) > len(self._cancelled)
+
+    @property
+    def pushes(self) -> int:
+        """Total entries ever pushed (the simulator's event counter)."""
+        return self._n

@@ -1,0 +1,63 @@
+"""Reference scheduler: a binary heap of ``(when, seq, item)`` tuples.
+
+This is the behaviour oracle every other backend is differentially
+tested against — its pop order *defines* the engine's dispatch order:
+ascending ``(when, seq)``, where ``seq`` is assigned in push order
+(FIFO among same-timestamp events).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Optional, Tuple
+
+__all__ = ["HeapqScheduler"]
+
+
+class HeapqScheduler:
+    """:mod:`heapq` over a list of tuples (the pre-refactor layout)."""
+
+    name = "heapq"
+
+    __slots__ = ("_heap", "_n", "_cancelled")
+
+    def __init__(self):
+        self._heap: list = []
+        self._n = 0
+        self._cancelled: set = set()
+
+    def push(self, when: float, item) -> int:
+        seq = self._n
+        self._n = seq + 1
+        heappush(self._heap, (when, seq, item))
+        return seq
+
+    def pop(self, limit: Optional[float] = None) -> Optional[Tuple]:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            if limit is not None and heap[0][0] > limit:
+                return None
+            entry = heappop(heap)
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            return entry
+        return None
+
+    def cancel(self, seq: int) -> bool:
+        # Lazy deletion: the entry stays in the heap but is skipped at
+        # pop time (and purged from the tombstone set as it goes by).
+        self._cancelled.add(seq)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self._heap) > len(self._cancelled)
+
+    @property
+    def pushes(self) -> int:
+        """Total entries ever pushed (the simulator's event counter)."""
+        return self._n

@@ -6,7 +6,7 @@ import pytest
 
 from repro import aceso_config, fusee_config
 from repro.core.store import AcesoCluster
-from repro.sim import Environment
+from repro.sim import Environment, available_backends
 
 
 def small_cluster_kwargs(**overrides):
@@ -34,9 +34,11 @@ def make_fusee(replication_factor: int = 3, **overrides):
     return cluster
 
 
-@pytest.fixture
-def env() -> Environment:
-    return Environment()
+@pytest.fixture(params=available_backends())
+def env(request) -> Environment:
+    """A fresh Environment, parametrized over every scheduler backend so
+    the whole engine suite doubles as a per-backend conformance run."""
+    return Environment(scheduler=request.param)
 
 
 @pytest.fixture

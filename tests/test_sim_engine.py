@@ -385,3 +385,163 @@ def test_many_processes_scale(env):
     env.run()
     assert len(counter) == 500
     assert counter == sorted(counter)
+
+
+# ------------------------------------------------- cancellation edges
+
+def test_cancel_mid_queue_prevents_callback(env):
+    fired = []
+    t1 = env.defer(1.0, lambda e: fired.append(1))
+    t2 = env.defer(2.0, lambda e: fired.append(2))
+    t3 = env.defer(3.0, lambda e: fired.append(3))
+    assert t2.cancel() is True
+    assert t2.cancelled
+    env.run()
+    assert fired == [1, 3]
+    assert env.now == 3.0
+    assert not t1.cancelled and not t3.cancelled
+
+
+def test_cancel_after_fire_returns_false(env):
+    t = env.timeout(1.0)
+    env.run()
+    assert t.cancel() is False
+    assert not t.cancelled
+
+
+def test_double_cancel_returns_false(env):
+    t = env.timeout(1.0)
+    assert t.cancel() is True
+    assert t.cancel() is False
+    env.run()
+
+
+def test_cancelled_timeout_drops_late_callbacks(env):
+    t = env.timeout(1.0)
+    t.cancel()
+    seen = []
+    t.add_callback(lambda e: seen.append(e))   # silently dropped
+    env.run()
+    assert seen == []
+
+
+def test_cancel_drops_live_count_but_not_push_count(env):
+    t = env.timeout(1.0)
+    env.timeout(2.0)
+    pushes = env.scheduled_count
+    assert len(env.sched) == 2
+    t.cancel()
+    assert len(env.sched) == 1
+    assert env.scheduled_count == pushes   # pushes is monotonic
+    env.run()
+    assert env.now == 2.0
+
+
+def test_base_event_cancel_rejected(env):
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.cancel()
+
+
+def test_run_until_advances_past_cancelled_tail(env):
+    """A cancelled entry beyond `until` must not hold the clock back."""
+    t = env.timeout(5.0)
+    env.timeout(1.0)
+    t.cancel()
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+# ------------------------------------------------- deferred reschedule
+
+def test_reschedule_moves_firing_time(env):
+    from repro.sim import Deferred
+
+    d = Deferred(env, 5.0, lambda: "v")
+    d.reschedule(2.0)
+    fired = []
+    d.add_callback(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == [2.0]
+    assert d.value == "v"
+
+
+def test_reschedule_later_also_works(env):
+    from repro.sim import Deferred
+
+    d = Deferred(env, 1.0, lambda: None)
+    d.reschedule(7.0)
+    env.run()
+    assert d.triggered
+    assert env.now == 7.0
+
+
+def test_reschedule_fired_deferred_rejected(env):
+    from repro.sim import Deferred
+
+    d = Deferred(env, 1.0, lambda: None)
+    env.run()
+    with pytest.raises(SimulationError):
+        d.reschedule(2.0)
+
+
+def test_reschedule_cancelled_deferred_rejected(env):
+    from repro.sim import Deferred
+
+    d = Deferred(env, 1.0, lambda: None)
+    d.cancel()
+    with pytest.raises(SimulationError):
+        d.reschedule(2.0)
+
+
+def test_reschedule_goes_to_back_of_fifo_tie(env):
+    """A reschedule is a fresh arrival: among events at the same
+    timestamp it dispatches last, on every backend."""
+    from repro.sim import Deferred
+
+    order = []
+    a = Deferred(env, 3.0, lambda: order.append("a"))
+    Deferred(env, 3.0, lambda: order.append("b"))
+    a.reschedule(3.0)              # same instant, but now behind b
+    env.run()
+    assert order == ["b", "a"]
+
+
+def test_cancelled_deferred_resolver_never_runs(env):
+    from repro.sim import Deferred
+
+    ran = []
+    d = Deferred(env, 1.0, lambda: ran.append(1))
+    assert d.cancel() is True
+    env.run()
+    assert ran == []
+    assert not d.triggered
+
+
+# ------------------------------------------------- zero-delay ordering
+
+def test_zero_delay_self_requeue_is_fifo(env):
+    """A process re-queueing itself at the current instant goes to the
+    back of the tie class — two such processes interleave strictly."""
+    order = []
+
+    def spinner(tag, n):
+        for i in range(n):
+            order.append((tag, i))
+            yield env.timeout(0.0)
+
+    env.process(spinner("a", 3))
+    env.process(spinner("b", 3))
+    env.run()
+    assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1),
+                     ("a", 2), ("b", 2)]
+    assert env.now == 0.0
+
+
+def test_empty_queue_run_terminates(env):
+    env.run()
+    assert env.now == 0.0
+    env.run(until=4.0)
+    assert env.now == 4.0
+    env.run()                      # still nothing pending: no-op
+    assert env.now == 4.0

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Optionally compile the flat-heap scheduler kernel.
+
+Builds ``repro.sim.sched._flatheap_core_compiled`` from the
+pure-python kernel using whichever of mypyc or Cython is importable
+(nothing is installed by this script).  The scheduler gates on the
+compiled module's importability at runtime — if this script was never
+run, or no compiler is available, the pure-python kernel serves and
+behaviour is bit-identical either way (that equivalence is exactly
+what ``tests/test_sched_fuzz.py`` pins).
+
+Usage::
+
+    python tools/build_sched.py            # try mypyc, then Cython
+    python tools/build_sched.py --clean    # remove built artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHED_DIR = os.path.join(REPO, "src", "repro", "sim", "sched")
+KERNEL = os.path.join(SCHED_DIR, "_flatheap_core.py")
+COMPILED_STEM = "_flatheap_core_compiled"
+
+
+def clean() -> None:
+    removed = []
+    for pattern in (f"{COMPILED_STEM}*.so", f"{COMPILED_STEM}*.pyd",
+                    f"{COMPILED_STEM}.py", f"{COMPILED_STEM}.c"):
+        for path in glob.glob(os.path.join(SCHED_DIR, pattern)):
+            os.remove(path)
+            removed.append(path)
+    build_dir = os.path.join(SCHED_DIR, "build")
+    if os.path.isdir(build_dir):
+        shutil.rmtree(build_dir)
+        removed.append(build_dir)
+    print("removed:" if removed else "nothing to remove",
+          *[os.path.relpath(p, REPO) for p in removed])
+
+
+def try_mypyc() -> bool:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        return False
+    src = os.path.join(SCHED_DIR, f"{COMPILED_STEM}.py")
+    shutil.copyfile(KERNEL, src)
+    result = subprocess.run(
+        [sys.executable, "-m", "mypyc", src],
+        cwd=SCHED_DIR, capture_output=True, text=True,
+    )
+    os.remove(src)
+    if result.returncode != 0:
+        print("mypyc failed:\n", result.stderr, file=sys.stderr)
+        return False
+    return bool(glob.glob(os.path.join(SCHED_DIR, f"{COMPILED_STEM}*.so")))
+
+
+def try_cython() -> bool:
+    try:
+        from Cython.Build.Inline import cython_inline  # noqa: F401
+        import Cython  # noqa: F401
+    except ImportError:
+        return False
+    from setuptools import Extension, setup  # deferred heavy import
+    from Cython.Build import cythonize
+
+    src = os.path.join(SCHED_DIR, f"{COMPILED_STEM}.py")
+    shutil.copyfile(KERNEL, src)
+    try:
+        setup(
+            script_args=["build_ext", "--inplace"],
+            ext_modules=cythonize(
+                [Extension(f"repro.sim.sched.{COMPILED_STEM}", [src])],
+                language_level=3,
+            ),
+            script_name="build_sched",
+        )
+    except SystemExit as exc:
+        print(f"cython build exited: {exc}", file=sys.stderr)
+        return False
+    finally:
+        os.remove(src)
+    return bool(glob.glob(os.path.join(SCHED_DIR, f"{COMPILED_STEM}*.so")))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clean", action="store_true",
+                        help="remove compiled kernel artifacts")
+    args = parser.parse_args()
+    if args.clean:
+        clean()
+        return 0
+    if try_mypyc():
+        print("built compiled flat-heap kernel with mypyc")
+        return 0
+    if try_cython():
+        print("built compiled flat-heap kernel with Cython")
+        return 0
+    print("neither mypyc nor Cython importable; the pure-python kernel "
+          "(bit-identical) will serve", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
