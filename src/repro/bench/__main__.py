@@ -6,6 +6,7 @@ import argparse
 import sys
 import time
 
+from ..obs import use_metrics_window
 from ..sim import available_backends, use_backend
 from . import REGISTRY, SCALES
 from .parallel import run_targets
@@ -49,10 +50,16 @@ def main(argv=None) -> int:
                              "in this run (default: $REPRO_SCHEDULER or "
                              "heapq; results are bit-identical across "
                              "backends)")
+    parser.add_argument("--metrics-window", default=None,
+                        help="metrics bucket width in seconds for traced "
+                             "runs (default: $REPRO_METRICS_WINDOW or "
+                             "0.001; results are identical either way)")
     args = parser.parse_args(argv)
 
     if args.scheduler:
         use_backend(args.scheduler)
+    if args.metrics_window:
+        use_metrics_window(args.metrics_window)
 
     if args.target == "list":
         print("Available targets:")

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import obs_provenance
 from ..sim import sched_provenance
 from .common import FigureResult, average_results, set_seed, set_tracing
 
@@ -55,17 +56,24 @@ def _run_cell(cell: Cell):
     result = run_figure(name, scale=scale)
     elapsed = time.perf_counter() - start
     reports = []
+    attribution: Dict[str, list] = {}
     if trace:
+        from ..obs.attr import attribution_tables, render_attribution
         from ..obs.export import render_report, write_chrome_trace
         from .common import drain_trace_bundles
         for i, obs in enumerate(drain_trace_bundles()):
             path = os.path.join(trace_dir, f"TRACE_{name}_s{seed}_{i}.json")
             write_chrome_trace(obs, path)
-            reports.append(
+            report = (
                 f"--- trace report: {name} seed={seed} cluster #{i} ---\n"
-                + render_report(obs) + f"\n[wrote {path}]"
+                + render_report(obs)
             )
-    return result, reports, elapsed
+            tables = attribution_tables(obs)
+            if tables:
+                attribution[f"s{seed}_{i}"] = tables
+                report += "\n\n" + render_attribution(tables)
+            reports.append(report + f"\n[wrote {path}]")
+    return result, reports, elapsed, attribution
 
 
 def run_targets(targets: Sequence[str], scale: str, *, seed: int = 0,
@@ -94,7 +102,7 @@ def run_targets(targets: Sequence[str], scale: str, *, seed: int = 0,
         by_name[name].append(out)
     runs: List[FigureRun] = []
     for name in targets:
-        results = [result for result, _, _ in by_name[name]]
+        results = [result for result, _, _, _ in by_name[name]]
         merged = average_results(results)
         # ``jobs`` is deliberately NOT recorded: the json must be
         # byte-identical between serial and parallel runs of one seed.
@@ -102,9 +110,18 @@ def run_targets(targets: Sequence[str], scale: str, *, seed: int = 0,
         # same resolved backend), along with whether the compiled
         # flat-heap kernel was importable.
         merged.meta.update(seed=seed, repeat=repeat, scale=scale,
-                           **sched_provenance())
-        reports = [r for _, rs, _ in by_name[name] for r in rs]
-        cpu = sum(elapsed for _, _, elapsed in by_name[name])
+                           **sched_provenance(), **obs_provenance())
+        if trace:
+            # Per-cluster latency-attribution tables (conservation is
+            # asserted inside attribution_tables); cells are ordered the
+            # same serially and in parallel, so the json stays stable.
+            attribution: Dict[str, list] = {}
+            for _, _, _, attr in by_name[name]:
+                attribution.update(attr)
+            if attribution:
+                merged.meta["attribution"] = attribution
+        reports = [r for _, rs, _, _ in by_name[name] for r in rs]
+        cpu = sum(elapsed for _, _, elapsed, _ in by_name[name])
         runs.append(FigureRun(name=name, result=merged,
                               trace_reports=reports, cpu_seconds=cpu))
     return runs

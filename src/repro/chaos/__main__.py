@@ -9,12 +9,14 @@ with each run's recovery timeline nested in its row).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..bench.common import FigureResult
-from ..obs import Observability
+from ..obs import Observability, obs_provenance, use_metrics_window
+from ..obs import flight
 from ..sim import available_backends, sched_provenance, use_backend
 from .engine import run_scenario
 from .scenarios import SCENARIOS, fast_scenarios
@@ -36,7 +38,7 @@ def run_matrix(names: Sequence[str], seeds: Sequence[int],
               "where marked), no duplicate slot ownership, no leaked "
               "locks, monotonic version chains.",
         meta={"seeds": list(seeds), "scenarios": list(names),
-              **sched_provenance()},
+              **sched_provenance(), **obs_provenance()},
     )
     per_scenario: Dict[str, List[dict]] = {}
     for name in names:
@@ -45,6 +47,16 @@ def run_matrix(names: Sequence[str], seeds: Sequence[int],
             report = run_scenario(name, seed=seed, obs=obs)
             failed = [c["invariant"] for c in report["checks"]
                       if not c["ok"]]
+            if not report["ok"]:
+                # Oracle failure: persist the flight ring alongside the
+                # verdict so the postmortem has the last N events.
+                path = flight.dump_on_failure(
+                    f"chaos-{name}-s{seed}",
+                    context={"scenario": name, "seed": seed,
+                             "failed_checks": failed})
+                if path:
+                    print(f"[flight recorder dumped to {path}]",
+                          file=sys.stderr)
             result.add(
                 scenario=name,
                 seed=seed,
@@ -101,10 +113,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="event-queue backend (default: "
                              "$REPRO_SCHEDULER or heapq; verdicts are "
                              "identical across backends)")
+    parser.add_argument("--metrics-window", default=None,
+                        help="metrics bucket width in seconds (default: "
+                             "$REPRO_METRICS_WINDOW or 0.001)")
     args = parser.parse_args(argv)
 
     if args.scheduler:
         use_backend(args.scheduler)
+    if args.metrics_window:
+        use_metrics_window(args.metrics_window)
+    # Flight-recorder dumps land next to BENCH_chaos.json.
+    os.environ.setdefault(flight.ENV_DIR, args.json_dir)
 
     if args.list:
         width = max(len(n) for n in SCENARIOS)

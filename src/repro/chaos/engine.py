@@ -267,6 +267,12 @@ class ChaosEngine:
         failures = self.env.unexpected_failures()
         if failures:
             proc = failures[0]
+            from ..obs import flight
+            flight.dump_on_failure("chaos-engine-failure", context={
+                "scenario": self.spec.name,
+                "first": proc.name, "error": repr(proc.value),
+                "failed": len(failures),
+            })
             raise AssertionError(
                 f"{len(failures)} chaos process(es) failed; first: "
                 f"{proc.name}: {proc.value!r}"

@@ -145,6 +145,15 @@ class AcesoClient:
             result = yield from fn(*args, sp)
             return result
 
+    def _phase(self, name: str):
+        """Open a protocol-phase span (``cat="phase"``) on this client's
+        track; :mod:`repro.obs.attr` claims these intervals first when
+        decomposing op latency.  No-op when tracing is off."""
+        obs = self.obs
+        if obs is None or not obs.enabled:
+            return NULL_SPAN
+        return obs.tracer.span(name, cat="phase", track=self._track)
+
     def _search_op(self, key: bytes, sp) -> Generator:
         t0 = self.env.now
         home = self._home(key)
@@ -452,7 +461,8 @@ class AcesoClient:
         try:
             raw = yield self._post_read(ga.node_id, ga.offset, length)
         except NodeFailedError:
-            raw = yield from self._degraded_read(ga, length)
+            with self._phase("degraded_read"):
+                raw = yield from self._degraded_read(ga, length)
             if raw is None:
                 return None, None
         record = parse_kv(raw)
@@ -572,9 +582,10 @@ class AcesoClient:
                 epoch_eff = 0
             else:
                 if meta_old.locked:
-                    took_over = yield from self._wait_or_takeover(
-                        key, home, bucket, slot, meta_old
-                    )
+                    with self._phase("lock_wait"):
+                        took_over = yield from self._wait_or_takeover(
+                            key, home, bucket, slot, meta_old
+                        )
                     retries += 1
                     if not took_over:
                         continue
@@ -713,18 +724,19 @@ class AcesoClient:
                 return
             # --- CAS failed: invalidate the orphan KV (line 18) ----------
             self.stats.bump("commit_conflicts")
-            yield from self._invalidate_kv(kv_addr, delta_addr,
-                                           kv_bytes, delta_bytes)
-            dead_block, dead_intra = self._locate_block_slot(kv_addr)
-            if dead_block is not None:
-                self.blocks.mark_obsolete(kv_addr.node_id, dead_block,
-                                          dead_intra, now=self.env.now)
-            if rolled:
-                yield self._post_cas(
-                    home, index.meta_offset(bucket, slot),
-                    meta_old.pack(), meta_final.pack(),
-                )
-            self.cache.invalidate(key)
+            with self._phase("cas_retry"):
+                yield from self._invalidate_kv(kv_addr, delta_addr,
+                                               kv_bytes, delta_bytes)
+                dead_block, dead_intra = self._locate_block_slot(kv_addr)
+                if dead_block is not None:
+                    self.blocks.mark_obsolete(kv_addr.node_id, dead_block,
+                                              dead_intra, now=self.env.now)
+                if rolled:
+                    yield self._post_cas(
+                        home, index.meta_offset(bucket, slot),
+                        meta_old.pack(), meta_final.pack(),
+                    )
+                self.cache.invalidate(key)
             self._maybe_seal(size_class, block)
             retries += 1
         raise RetryBudgetExceeded(f"{op} {key!r} exceeded {RETRY_BUDGET} retries")

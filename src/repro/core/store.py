@@ -19,6 +19,7 @@ from ..ec.stripe import StripeLayout, make_codec
 from ..errors import ConfigError
 from ..memory.blocks import Role
 from ..obs import Observability
+from ..obs import flight
 from ..rdma.network import Fabric
 from ..sim import Environment, StatsRegistry
 from .api import AcesoClient
@@ -66,6 +67,7 @@ class ClusterBase:
         self.fabric = Fabric(self.env)
         self.master = Master(self.env)
         self.stats = StatsRegistry()
+        self.stats.bind_clock(self.env)
         #: Observability bundle; a disabled default keeps every
         #: instrumented hot path at one attribute check.
         self.obs = obs if obs is not None else Observability()
@@ -93,6 +95,10 @@ class ClusterBase:
         failures = self.env.unexpected_failures()
         if failures:
             proc = failures[0]
+            flight.dump_on_failure("engine-failure", context={
+                "first": proc.name, "error": repr(proc.value),
+                "failed": len(failures),
+            })
             raise AssertionError(
                 f"{len(failures)} simulation process(es) failed; first: "
                 f"{proc.name}: {proc.value!r}"
@@ -117,6 +123,7 @@ class ClusterBase:
     # -- failure injection hooks --------------------------------------------
 
     def _mark_fault(self, kind: str, node_id: int) -> None:
+        flight.note(self.env.now, f"fault.{kind}{node_id}")
         obs = self.obs
         if obs is not None and obs.enabled:
             obs.tracer.instant(f"crash.{kind}{node_id}", cat="fault",

@@ -11,7 +11,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+import os
+
 from ..bench.common import SCALES
+from ..obs import flight, use_metrics_window
 from ..sim import available_backends, use_backend
 from .bench import run_frontend
 from .request import DURABILITY_MODES
@@ -46,10 +49,17 @@ def main(argv=None) -> int:
                         help="event-queue backend (default: "
                              "$REPRO_SCHEDULER or heapq; results are "
                              "identical across backends)")
+    parser.add_argument("--metrics-window", default=None,
+                        help="metrics bucket width in seconds (default: "
+                             "$REPRO_METRICS_WINDOW or 0.001)")
     args = parser.parse_args(argv)
 
     if args.scheduler:
         use_backend(args.scheduler)
+    if args.metrics_window:
+        use_metrics_window(args.metrics_window)
+    # Flight-recorder dumps land next to BENCH_frontend.json.
+    os.environ.setdefault(flight.ENV_DIR, args.json_dir)
 
     modes = tuple(args.durability) if args.durability else DURABILITY_MODES
     result = run_frontend(scale_name=args.scale, seed=args.seed,

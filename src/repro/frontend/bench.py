@@ -18,6 +18,7 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from ..bench.common import SCALES, FigureResult, Scale, build_cluster
+from ..obs import flight, obs_provenance
 from ..sim import sched_provenance
 from ..workloads import WorkloadRunner, twitter_stream, ycsb_load_ops
 from .chaos import run_frontend_chaos
@@ -100,6 +101,10 @@ def _run_mode(scale: Scale, seed: int, mode: str,
     failures = env.unexpected_failures()
     if failures:
         proc = failures[0]
+        flight.dump_on_failure("frontend-engine-failure", context={
+            "mode": mode, "seed": seed,
+            "first": proc.name, "error": repr(proc.value),
+        })
         raise AssertionError(
             f"front-end process failed: {proc.name}: {proc.value!r}"
         ) from proc.value
@@ -148,9 +153,17 @@ def run_frontend(scale_name: str = "smoke", seed: int = 0,
         }
         if mode == "native":
             for spec in specs:
-                result.add_verdict(f"slo:{spec.name}",
-                                   fe.slo.slo_ok(spec),
+                ok = fe.slo.slo_ok(spec)
+                result.add_verdict(f"slo:{spec.name}", ok,
                                    fe.slo.slo_detail(spec))
+                if not ok:
+                    # SLO flipped to FAIL: keep the flight ring for the
+                    # postmortem ("what was the cluster doing?").
+                    flight.dump_on_failure(
+                        f"slo-{spec.name}-s{seed}",
+                        context={"tenant": spec.name, "seed": seed,
+                                 "mode": mode,
+                                 "detail": fe.slo.slo_detail(spec)})
             result.add_verdict(
                 "client cache serves hits",
                 lanes["cache_hits"] > 0,
@@ -193,6 +206,10 @@ def run_frontend(scale_name: str = "smoke", seed: int = 0,
         report = run_frontend_chaos(seed=seed + 1)
         failed = sorted(c["invariant"] for c in report["checks"]
                         if not c["ok"])
+        if not report["ok"]:
+            flight.dump_on_failure(
+                "frontend-chaos-oracle",
+                context={"seed": report["seed"], "failed_checks": failed})
         result.add_verdict(
             "chaos through front-end keeps zero-loss invariants",
             report["ok"],
@@ -211,5 +228,6 @@ def run_frontend(scale_name: str = "smoke", seed: int = 0,
         "tenants": [spec.name for spec in specs],
         "counters": mode_counters,
         **sched_provenance(),
+        **obs_provenance(),
     })
     return result

@@ -6,6 +6,14 @@ and a windowed :class:`~.metrics.MetricsCollector`, both stamped with
 obs=Observability(enabled=True))``); a disabled instance is created by
 default so instrumented hot paths cost a single attribute check.
 
+Two always-on companions ride alongside the opt-in tracer:
+
+* the process-wide :mod:`flight <repro.obs.flight>` recorder — a
+  bounded ring of cheap events dumped to ``FLIGHT_*.json`` when an
+  oracle/SLO check fails or an exception escapes the engine;
+* an optional :class:`~.registry.MetricsRegistry` of counters / gauges
+  / histograms with Prometheus-style text exposition.
+
 Typical use::
 
     from repro.obs import Observability
@@ -16,13 +24,20 @@ Typical use::
     ... run a workload ...
     print(render_report(obs))             # utilization/timeline tables
     write_chrome_trace(obs, "trace.json") # open in Perfetto / chrome://tracing
+
+The metrics window width is a config knob mirroring the scheduler
+selection: ``SimConfig.metrics_window`` <- ``$REPRO_METRICS_WINDOW`` <-
+``--metrics-window`` on the CLI entry points, resolved here by
+:func:`resolve_metrics_window`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Dict, Optional, Union
 
 from .metrics import MetricsCollector, TimeSeries
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import NULL_SPAN, Instant, Span, Tracer, traced
 
 __all__ = [
@@ -34,17 +49,75 @@ __all__ = [
     "traced",
     "MetricsCollector",
     "TimeSeries",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_WINDOW_ENV",
+    "DEFAULT_METRICS_WINDOW",
+    "resolve_metrics_window",
+    "use_metrics_window",
+    "obs_provenance",
 ]
+
+#: Environment variable consulted by the "auto" metrics-window
+#: resolution (seconds, e.g. "0.0005"); set by ``--metrics-window``.
+METRICS_WINDOW_ENV = "REPRO_METRICS_WINDOW"
+DEFAULT_METRICS_WINDOW = 1e-3
+
+
+def resolve_metrics_window(
+        value: Union[None, str, float] = None) -> float:
+    """Resolve a metrics-window request to a width in seconds.
+
+    ``None``/""/"auto" reads ``$REPRO_METRICS_WINDOW`` and falls back
+    to the 1 ms default; a number (or numeric string) is validated and
+    used as-is.  Mirrors ``repro.sim.sched.resolve_backend``.
+    """
+    if value is None or value == "" or value == "auto":
+        value = os.environ.get(METRICS_WINDOW_ENV, "") \
+            or DEFAULT_METRICS_WINDOW
+    try:
+        window = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"metrics window must be a number of seconds or 'auto', "
+            f"got {value!r}") from None
+    if not window > 0:
+        raise ValueError(f"metrics window must be positive: {window}")
+    return window
+
+
+def use_metrics_window(value: Union[str, float]) -> float:
+    """Select *value* for every bundle built after this call (exported
+    via the environment so forked bench workers inherit it)."""
+    resolved = resolve_metrics_window(value)
+    os.environ[METRICS_WINDOW_ENV] = repr(resolved)
+    return resolved
+
+
+def obs_provenance() -> Dict[str, object]:
+    """Provenance block for BENCH json meta: the resolved metrics
+    window and whether the flight recorder was live."""
+    from .flight import RECORDER
+    return {
+        "metrics_window_s": resolve_metrics_window(),
+        "flight_recorder": RECORDER.enabled,
+    }
 
 
 class Observability:
     """Tracer + metrics bundle shared by one cluster's components."""
 
     def __init__(self, env=None, enabled: bool = False,
-                 window: float = 1e-3):
+                 window: Union[None, str, float] = None):
         self.enabled = enabled
         self.tracer = Tracer(env, enabled=enabled)
-        self.metrics = MetricsCollector(env, window=window, enabled=enabled)
+        self.metrics = MetricsCollector(env,
+                                        window=resolve_metrics_window(window),
+                                        enabled=enabled)
+        #: Counter/gauge/histogram registry (text exposition export).
+        self.registry = MetricsRegistry()
         self._env = env
 
     # -- lifecycle -------------------------------------------------------
@@ -71,6 +144,7 @@ class Observability:
     def clear(self) -> "Observability":
         self.tracer.clear()
         self.metrics.clear()
+        self.registry.clear()
         return self
 
     # -- cluster wiring --------------------------------------------------
@@ -80,9 +154,14 @@ class Observability:
 
         Called by :class:`~repro.core.store.ClusterBase`; labels MN NICs
         ``mn<i>`` and CN NICs ``cn<j>`` so utilization series separate
-        the two sides of the paper's asymmetry arguments.
+        the two sides of the paper's asymmetry arguments.  The cluster's
+        ``SimConfig.metrics_window`` takes effect here when it asks for
+        a specific width (the bundle predates the config).
         """
         self.bind(cluster.env)
+        window = cluster.config.sim.metrics_window
+        if window not in (None, "", "auto"):
+            self.metrics.window = resolve_metrics_window(window)
         cluster.fabric.obs = self
         for node_id, mn in cluster.mns.items():
             mn.nic.obs = self

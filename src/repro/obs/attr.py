@@ -1,0 +1,307 @@
+"""Critical-path latency attribution over the causal span graph.
+
+The tracer records client ops as root spans, protocol phases (lock
+waits, CAS-retry cleanup, degraded EC reads) as child spans, and fabric
+verbs as leaves carrying their own ``queue_us`` / ``service_us`` /
+``rtt_us`` decomposition.  This module walks that graph and answers the
+question the paper's resource arguments all hinge on: *where did each
+op's latency go?*
+
+Every op's duration is decomposed into seven components:
+
+``lock_wait``
+    time inside a Meta-lock poll/takeover phase (§3.2.2 remark 2),
+``cas_retry``
+    time spent invalidating an orphan KV and unlocking after a lost
+    commit CAS (Algorithm 1 line 18),
+``degraded_read``
+    time reconstructing a lost block from its stripe (§3.4.1),
+``queue`` / ``service`` / ``rtt``
+    the op's remaining fabric time, split proportionally to the queue
+    wait, NIC service, and propagation recorded per verb span,
+``other``
+    whatever is left — client-side compute, recovery-milestone stalls,
+    allocation RPC waits.
+
+**Conservation is by construction**: the components are a disjoint
+segmentation of the op's interval — phase spans claim their (clipped,
+de-overlapped) sub-intervals first, verbs outside phases claim theirs,
+and ``other`` is the measured remainder — so the sum equals the op's
+measured duration to float precision.  ``tests/test_obs_v2.py`` asserts
+this on hand-built graphs and real fig8/fig9 smoke runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.stats import percentile
+
+__all__ = [
+    "COMPONENTS",
+    "PHASE_COMPONENTS",
+    "op_breakdowns",
+    "aggregate",
+    "attribution_tables",
+    "check_conservation",
+    "render_attribution",
+]
+
+#: Component keys, in reporting order.
+COMPONENTS = ("queue", "service", "rtt", "lock_wait", "cas_retry",
+              "degraded_read", "other")
+
+#: Phase-span names -> component, claimed in priority order (a degraded
+#: read nested inside a retry phase counts as degraded read).
+PHASE_COMPONENTS = {
+    "degraded_read": "degraded_read",
+    "cas_retry": "cas_retry",
+    "lock_wait": "lock_wait",
+}
+_PHASE_PRIORITY = ("degraded_read", "cas_retry", "lock_wait")
+
+Interval = Tuple[float, float]
+
+
+# ----------------------------------------------------------------------
+# interval arithmetic (closed-open [s, e) segments)
+# ----------------------------------------------------------------------
+
+def _merge(intervals: List[Interval]) -> List[Interval]:
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    out = [intervals[0]]
+    for s, e in intervals[1:]:
+        ls, le = out[-1]
+        if s <= le:
+            if e > le:
+                out[-1] = (ls, e)
+        else:
+            out.append((s, e))
+    return out
+
+
+def _subtract(base: List[Interval],
+              holes: List[Interval]) -> List[Interval]:
+    """base minus holes; both must be merged/sorted."""
+    out: List[Interval] = []
+    hi = 0
+    for s, e in base:
+        cur = s
+        while hi < len(holes) and holes[hi][1] <= cur:
+            hi += 1
+        j = hi
+        while j < len(holes) and holes[j][0] < e:
+            hs, he = holes[j]
+            if hs > cur:
+                out.append((cur, hs))
+            cur = max(cur, he)
+            if cur >= e:
+                break
+            j += 1
+        if cur < e:
+            out.append((cur, e))
+    return out
+
+
+def _clip(intervals: List[Interval], lo: float,
+          hi: float) -> List[Interval]:
+    out = []
+    for s, e in intervals:
+        s, e = max(s, lo), min(e, hi)
+        if e > s:
+            out.append((s, e))
+    return out
+
+
+def _length(intervals: List[Interval]) -> float:
+    return sum(e - s for s, e in intervals)
+
+
+# ----------------------------------------------------------------------
+# per-op decomposition
+# ----------------------------------------------------------------------
+
+def _subtree(op_id: int, children: Dict[Optional[int], List]) -> List:
+    """(span, under_phase) pairs for every descendant of *op_id*."""
+    out = []
+    stack = [(op_id, False)]
+    while stack:
+        parent, under = stack.pop()
+        for child in children.get(parent, ()):
+            is_phase = child.cat == "phase"
+            out.append((child, under))
+            stack.append((child.id, under or is_phase))
+    return out
+
+
+def op_breakdowns(obs, *, ops: Optional[Sequence[str]] = None,
+                  start: Optional[float] = None,
+                  end: Optional[float] = None) -> List[Dict]:
+    """Per-op component breakdown rows, one per root op span.
+
+    ``ops`` filters by op name; ``start``/``end`` restrict to ops whose
+    span begins inside the window (e.g. the measured window only).
+    Every row satisfies ``sum(components) == duration_us`` to float
+    precision.
+    """
+    children = obs.tracer.children_of()
+    rows: List[Dict] = []
+    for op in obs.tracer.spans_by(cat="op"):
+        if ops is not None and op.name not in ops:
+            continue
+        if start is not None and op.start < start:
+            continue
+        if end is not None and op.start >= end:
+            continue
+        s, e = op.start, op.end
+        duration = max(0.0, e - s)
+        comp = {c: 0.0 for c in COMPONENTS}
+        if duration <= 0.0:
+            rows.append(_row(op, duration, comp))
+            continue
+        descendants = _subtree(op.id, children)
+
+        # 1. phase spans claim their sub-intervals, by priority, with
+        #    later categories only taking what is still unclaimed.
+        claimed: List[Interval] = []
+        by_phase: Dict[str, List[Interval]] = {}
+        for span, _under in descendants:
+            if span.cat == "phase" and span.name in PHASE_COMPONENTS:
+                by_phase.setdefault(span.name, []).append(
+                    (span.start, span.end))
+        for name in _PHASE_PRIORITY:
+            if name not in by_phase:
+                continue
+            mine = _subtract(_merge(_clip(by_phase[name], s, e)), claimed)
+            comp[PHASE_COMPONENTS[name]] = _length(mine)
+            claimed = _merge(claimed + mine)
+
+        # 2. verbs outside any phase claim their uncovered remainder,
+        #    split proportionally to their recorded decomposition.
+        verb_ivals: List[Interval] = []
+        weights = {"queue": 0.0, "service": 0.0, "rtt": 0.0}
+        for span, under in descendants:
+            if span.cat != "verb" or under:
+                continue
+            verb_ivals.append((span.start, span.end))
+            args = span.args or {}
+            weights["queue"] += args.get("queue_us", 0.0)
+            weights["service"] += args.get("service_us", 0.0)
+            weights["rtt"] += args.get("rtt_us", 0.0)
+        fabric = _subtract(_merge(_clip(verb_ivals, s, e)), claimed)
+        fabric_total = _length(fabric)
+        wsum = weights["queue"] + weights["service"] + weights["rtt"]
+        if fabric_total > 0.0:
+            if wsum > 0.0:
+                comp["queue"] = fabric_total * weights["queue"] / wsum
+                comp["rtt"] = fabric_total * weights["rtt"] / wsum
+                # assign the residue to service so the three sum exactly
+                comp["service"] = fabric_total - comp["queue"] - comp["rtt"]
+            else:
+                comp["service"] = fabric_total
+
+        # 3. the measured remainder.
+        comp["other"] = max(0.0, duration - _length(claimed) - fabric_total)
+        rows.append(_row(op, duration, comp))
+    return rows
+
+
+def _row(op, duration: float, comp: Dict[str, float]) -> Dict:
+    row = {"op": op.name, "track": op.track,
+           "start_ms": op.start * 1e3,
+           "duration_us": duration * 1e6}
+    row.update({c: comp[c] * 1e6 for c in COMPONENTS})
+    return row
+
+
+def check_conservation(rows: Sequence[Dict],
+                       rel_tol: float = 1e-9,
+                       abs_tol: float = 1e-6) -> None:
+    """Assert components sum to the measured duration for every row
+    (tolerances in µs terms; raises AssertionError with the first
+    offender)."""
+    for row in rows:
+        total = sum(row[c] for c in COMPONENTS)
+        bound = abs_tol + rel_tol * abs(row["duration_us"])
+        if abs(total - row["duration_us"]) > bound:
+            raise AssertionError(
+                f"attribution leak on {row['op']}@{row['track']} "
+                f"t={row['start_ms']:.3f}ms: components sum to "
+                f"{total:.6f}us but the op took "
+                f"{row['duration_us']:.6f}us")
+
+
+# ----------------------------------------------------------------------
+# aggregation + reporting
+# ----------------------------------------------------------------------
+
+def aggregate(rows: Sequence[Dict],
+              tail_pct: float = 99.0) -> List[Dict]:
+    """Mean component breakdown per op name, plus a ``<OP> p99+`` row
+    aggregating only the ops at or above that name's *tail_pct*
+    latency — the "why is the tail high" view."""
+    by_name: Dict[str, List[Dict]] = {}
+    for row in rows:
+        by_name.setdefault(row["op"], []).append(row)
+    out: List[Dict] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        out.append(_aggregate_rows(name, group))
+        if len(group) >= 20:
+            cut = percentile([r["duration_us"] for r in group], tail_pct)
+            tail = [r for r in group if r["duration_us"] >= cut]
+            if tail and len(tail) < len(group):
+                out.append(_aggregate_rows(
+                    f"{name} p{tail_pct:g}+", tail))
+    return out
+
+
+def _aggregate_rows(label: str, group: Sequence[Dict]) -> Dict:
+    n = len(group)
+    mean_dur = sum(r["duration_us"] for r in group) / n
+    agg = {"op": label, "count": n, "mean_us": mean_dur}
+    for c in COMPONENTS:
+        mean_c = sum(r[c] for r in group) / n
+        agg[f"{c}_us"] = mean_c
+        agg[f"{c}_pct"] = (100.0 * mean_c / mean_dur) if mean_dur else 0.0
+    return agg
+
+
+def attribution_tables(obs, *, measured_only: bool = True) -> List[Dict]:
+    """The JSON-ready aggregate attribution table for one bundle.
+
+    ``measured_only`` scopes ops to the last harness measurement window
+    (between the ``measure.open``/``measure.close`` instants) when one
+    was recorded, matching what the BENCH rows report.
+    """
+    start = end = None
+    if measured_only:
+        opens = [i.at for i in obs.tracer.instants
+                 if i.name == "measure.open"]
+        closes = [i.at for i in obs.tracer.instants
+                  if i.name == "measure.close"]
+        start = opens[-1] if opens else None
+        end = closes[-1] if closes else None
+    rows = op_breakdowns(obs, start=start, end=end)
+    check_conservation(rows)
+    return [{k: (round(v, 4) if isinstance(v, float) else v)
+             for k, v in row.items()} for row in aggregate(rows)]
+
+
+def render_attribution(tables: Sequence[Dict],
+                       title: str = "Latency attribution "
+                                    "(mean us per op)") -> str:
+    """Human-readable attribution table (component means + shares)."""
+    from ..bench.common import format_table
+    columns = ["op", "count", "mean_us"]
+    columns += [f"{c}_us" for c in COMPONENTS]
+    rows = []
+    for table in tables:
+        row = dict(table)
+        # render shares inline for the dominant component
+        top = max(COMPONENTS, key=lambda c: table.get(f"{c}_us", 0.0))
+        row["top"] = f"{top} {table.get(f'{top}_pct', 0.0):.0f}%"
+        rows.append(row)
+    return format_table(title, columns + ["top"], rows)

@@ -57,8 +57,13 @@ def chrome_trace(obs, include_counters: bool = True) -> Dict:
             "name": span.name, "cat": span.cat or "span",
             "ts": span.start * _US, "dur": span.duration * _US,
         }
-        if span.args:
-            event["args"] = span.args
+        # Causal graph: ids survive the export so attribution is
+        # reproducible from the trace file alone.
+        args = dict(span.args) if span.args else {}
+        args["id"] = span.id
+        if span.parent is not None:
+            args["parent"] = span.parent
+        event["args"] = args
         events.append(event)
     for inst in obs.tracer.instants:
         event = {

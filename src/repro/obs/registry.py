@@ -1,0 +1,188 @@
+"""Counter / gauge / histogram registry with text exposition.
+
+The windowed :class:`~repro.obs.metrics.MetricsCollector` answers "how
+busy was each resource over simulated time"; this registry answers the
+operational question "what are the totals right now" in the shape every
+scrape-based monitoring stack expects: named counters, gauges, and
+fixed-bucket histograms, exported in the Prometheus text exposition
+format (``# TYPE`` / ``# HELP`` comments plus ``name{label="v"} value``
+sample lines).  ``tools/bench_trend.py`` and the serving front-end use
+it to publish totals that diff cleanly across runs.
+
+Everything is plain dict arithmetic on simulated quantities — no wall
+clock, no background scrape thread — so exposition output is
+deterministic for a seeded run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets (seconds): µs-scale op latencies up to ms.
+DEFAULT_BUCKETS = (1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6,
+                   100e-6, 200e-6, 500e-6, 1e-3, 5e-3)
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def samples(self) -> Iterable[Tuple[str, Dict[str, str], float]]:
+        yield self.name, {}, self.value
+
+
+class Gauge:
+    """Set-to-current value (queue depths, ring occupancy)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def samples(self) -> Iterable[Tuple[str, Dict[str, str], float]]:
+        yield self.name, {}, self.value
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram (Prometheus ``le`` semantics)."""
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def samples(self) -> Iterable[Tuple[str, Dict[str, str], float]]:
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cumulative += n
+            yield (self.name + "_bucket", {"le": _fmt_value(float(bound))},
+                   float(cumulative))
+        yield (self.name + "_bucket", {"le": "+Inf"}, float(self.count))
+        yield self.name + "_sum", {}, self.sum
+        yield self.name + "_count", {}, float(self.count)
+
+
+class MetricsRegistry:
+    """Named metric instruments plus the text exposition exporter."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{type(existing).__name__}")
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram(name, help, buckets))
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat {sample_name{labels}: value} snapshot (for BENCH json)."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            for sample, labels, value in self._metrics[name].samples():
+                out[sample + _fmt_labels(labels)] = value
+        return out
+
+    def exposition(self) -> str:
+        """Prometheus text exposition format, metrics in name order."""
+        kinds = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {kinds[type(metric)]}")
+            for sample, labels, value in metric.samples():
+                lines.append(
+                    f"{sample}{_fmt_labels(labels)} {_fmt_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def ingest_counters(self, counters: Dict[str, float],
+                        prefix: str = "") -> None:
+        """Bulk-load a plain counter dict (e.g. a StatsRegistry's) as
+        registry counters — names are sanitised to exposition charset."""
+        for key, value in counters.items():
+            safe = "".join(c if c.isalnum() or c == "_" else "_"
+                           for c in prefix + key)
+            if value >= 0:
+                self.counter(safe).inc(value)
+            else:
+                self.gauge(safe).set(value)

@@ -22,6 +22,15 @@ Chrome-trace viewer (one per client, per NIC, per checkpoint stream,
 per recovery).  Nested ``span()`` calls on the same track nest in the
 viewer.
 
+Spans also form a *causal graph*: every span gets a process-unique
+``id``, and its ``parent`` is the innermost span still open on the same
+track when it is recorded.  Because client ops are simulation
+generators suspended while their verbs run, a verb recorded
+retroactively via :meth:`Tracer.complete` on the client's track parents
+to the op span that issued it — giving the chain client op → phase
+(lock wait / CAS retry / degraded read) → verb that
+:mod:`repro.obs.attr` walks for latency attribution.
+
 The whole API is zero-cost when disabled: ``span()`` returns a shared
 no-op context manager and the :func:`traced` decorator returns the
 undecorated generator, so a disabled tracer adds one attribute check to
@@ -37,18 +46,26 @@ __all__ = ["Span", "Instant", "Tracer", "NULL_SPAN", "traced"]
 
 
 class Span:
-    """One closed interval of simulated time on a track."""
+    """One closed interval of simulated time on a track.
 
-    __slots__ = ("name", "cat", "track", "start", "end", "args")
+    ``id`` is unique within one tracer; ``parent`` is the id of the
+    innermost enclosing span on the same track (None for roots).
+    """
+
+    __slots__ = ("name", "cat", "track", "start", "end", "args",
+                 "id", "parent")
 
     def __init__(self, name: str, cat: str, track: str, start: float,
-                 end: float = -1.0, args: Optional[Dict[str, Any]] = None):
+                 end: float = -1.0, args: Optional[Dict[str, Any]] = None,
+                 id: int = -1, parent: Optional[int] = None):
         self.name = name
         self.cat = cat
         self.track = track
         self.start = start
         self.end = end
         self.args = args
+        self.id = id
+        self.parent = parent
 
     @property
     def duration(self) -> float:
@@ -108,9 +125,11 @@ class _SpanCtx:
         self.span = span
 
     def __enter__(self) -> Span:
+        self._tracer._push_open(self.span)
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop_open(self.span)
         self.span.end = self._tracer.now()
         if exc_type is not None:
             self.span.set(error=exc_type.__name__)
@@ -126,6 +145,10 @@ class Tracer:
         self.enabled = enabled
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
+        self._next_id = 0
+        #: Innermost-last stack of live spans per track; the top is the
+        #: default parent for anything recorded on that track.
+        self._open: Dict[str, List[Span]] = {}
 
     # -- wiring ----------------------------------------------------------
 
@@ -139,22 +162,50 @@ class Tracer:
     def clear(self) -> None:
         self.spans.clear()
         self.instants.clear()
+        self._open.clear()
+        self._next_id = 0
 
     # -- recording -------------------------------------------------------
+
+    def _new_id(self) -> int:
+        sid = self._next_id
+        self._next_id = sid + 1
+        return sid
+
+    def _parent_on(self, track: str) -> Optional[int]:
+        stack = self._open.get(track)
+        return stack[-1].id if stack else None
+
+    def _push_open(self, span: Span) -> None:
+        self._open.setdefault(span.track, []).append(span)
+
+    def _pop_open(self, span: Span) -> None:
+        stack = self._open.get(span.track)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # defensive: out-of-order exit
+            stack.remove(span)
 
     def span(self, name: str, cat: str = "", track: str = "main", **args):
         """Open a span; returns a context manager yielding the live span."""
         if not self.enabled:
             return NULL_SPAN
         return _SpanCtx(self, Span(name, cat, track, self.now(),
-                                   args=args or None))
+                                   args=args or None, id=self._new_id(),
+                                   parent=self._parent_on(track)))
 
     def complete(self, name: str, cat: str, track: str, start: float,
                  end: float, **args) -> Optional[Span]:
-        """Record a span retroactively with explicit endpoints."""
+        """Record a span retroactively with explicit endpoints.
+
+        The span parents to the innermost span currently *open* on its
+        track — for verbs recorded at completion time on a client track
+        that is exactly the op (or phase) generator suspended on them.
+        """
         if not self.enabled:
             return None
-        span = Span(name, cat, track, start, end, args=args or None)
+        span = Span(name, cat, track, start, end, args=args or None,
+                    id=self._new_id(), parent=self._parent_on(track))
         self._record(span)
         return span
 
@@ -196,6 +247,17 @@ class Tracer:
             if track is not None and span.track != track:
                 continue
             out.append(span)
+        return out
+
+    def span_index(self) -> Dict[int, Span]:
+        """id -> span map over everything recorded so far."""
+        return {span.id: span for span in self.spans}
+
+    def children_of(self) -> Dict[Optional[int], List[Span]]:
+        """parent-id -> children map (roots under the ``None`` key)."""
+        out: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.parent, []).append(span)
         return out
 
 

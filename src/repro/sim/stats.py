@@ -1,4 +1,12 @@
-"""Measurement helpers: counters, latency recorders, throughput windows."""
+"""Measurement helpers: counters, latency recorders, throughput windows.
+
+The registry doubles as the flight recorder's event source: every op
+completion, error, and counter bump is mirrored (as one bounded-ring
+append) into :data:`repro.obs.flight.RECORDER`, so a postmortem dump
+shows the last few thousand things the system did even when tracing was
+off.  The mirror is append-only and result-neutral; ``bind_clock``
+gives it simulated timestamps.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,8 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from ..obs.flight import RECORDER as _FLIGHT
 
 __all__ = ["LatencyRecorder", "OpStats", "StatsRegistry", "percentile"]
 
@@ -93,12 +103,23 @@ class StatsRegistry:
         self.window_start: float = 0.0
         self.window_end: Optional[float] = None
         self.recording = True
+        self._env = None
+
+    def bind_clock(self, env) -> None:
+        """Attach the simulation clock (stamps flight-recorder events)."""
+        self._env = env
+
+    def _now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
 
     def op(self, name: str) -> OpStats:
         return self.per_op[name]
 
     def record_op(self, name: str, latency: float, *, cas: int = 0,
                   retries: int = 0) -> None:
+        if _FLIGHT.enabled:
+            _FLIGHT.events.append(
+                (self._now(), "op." + name, round(latency * 1e6, 3)))
         if not self.recording:
             return
         stats = self.per_op[name]
@@ -108,10 +129,14 @@ class StatsRegistry:
         stats.latency.record(latency)
 
     def record_error(self, name: str) -> None:
+        if _FLIGHT.enabled:
+            _FLIGHT.events.append((self._now(), "err." + name, None))
         if self.recording:
             self.per_op[name].errors += 1
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
+        if _FLIGHT.enabled:
+            _FLIGHT.events.append((self._now(), "ctr." + counter, amount))
         if self.recording:
             self.counters[counter] += amount
 

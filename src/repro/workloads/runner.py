@@ -144,6 +144,11 @@ class WorkloadRunner:
         failures = self.env.unexpected_failures()
         if failures:
             proc = failures[0]
+            from ..obs import flight
+            flight.dump_on_failure("workload-failure", context={
+                "first": proc.name, "error": repr(proc.value),
+                "failed": len(failures),
+            })
             raise AssertionError(
                 f"workload process failed: {proc.name}: {proc.value!r}"
             ) from proc.value

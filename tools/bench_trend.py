@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Perf-trend gate: diff BENCH_*.json against committed baselines.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python -m repro.bench fig8 fig9 ... --json-dir out/
+    python tools/bench_trend.py --current-dir out/
+
+Every ``BENCH_<figure>.json`` in ``--current-dir`` is diffed against
+``benchmarks/baselines/BENCH_<figure>.json``; each metric gets a
+``[PASS]`` / ``[REGRESSED]`` / ``[IMPROVED]`` verdict and the tool exits
+1 iff anything regressed.  ``--update`` copies the current files over
+the baselines instead (run it after an intentional perf change and
+commit the result).
+
+Noise model
+-----------
+
+Simulated metrics are deterministic for a fixed seed, but baselines
+are refreshed by humans at arbitrary commits, so thresholds are
+direction- and tail-aware rather than exact:
+
+* wall-clock columns (``wall_s``, ``cpu``, ``elapsed``) are ignored —
+  they measure the CI machine, not the system under test;
+* throughput-like metrics (``throughput``, ``*_kops``, ``*_mops``,
+  ``*_per_sec``) regress when they *drop* more than 5%;
+* latency-like metrics (``*_us``, ``*_ms``, ``p50``/``p95``) regress
+  when they *rise* more than 5%; tails get more slack (``p99`` 10%,
+  ``p999`` 20% — the last percentile at smoke scale rides on a handful
+  of samples);
+* other numeric drift beyond 5% is reported as ``[CHANGED]`` but does
+  not gate;
+* string cells must match exactly (a PASS->FAIL flip is a regression);
+* shape verdicts marked ``noisy`` in the json are excluded, mirroring
+  ``shape_ok``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINES = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+
+#: (substring-or-suffix rules, direction, relative threshold).
+_IGNORE_TOKENS = ("wall", "cpu", "elapsed", "seconds")
+_THROUGHPUT_TOKENS = ("throughput", "kops", "mops", "per_sec", "ops_s")
+_LATENCY_SUFFIXES = ("_us", "_ms", "_ns")
+
+
+def classify(name: str) -> Tuple[Optional[str], float]:
+    """(direction, rel_threshold) for one metric column.
+
+    direction: "higher_bad" | "lower_bad" | None (informational).
+    """
+    n = name.lower()
+    if any(tok in n for tok in _IGNORE_TOKENS):
+        return ("ignore", 0.0)
+    if "p999" in n:
+        return ("higher_bad", 0.20)
+    if "p99" in n:
+        return ("higher_bad", 0.10)
+    if any(tok in n for tok in _THROUGHPUT_TOKENS):
+        return ("lower_bad", 0.05)
+    if n.endswith(_LATENCY_SUFFIXES) or "latency" in n \
+            or "p50" in n or "p95" in n:
+        return ("higher_bad", 0.05)
+    return (None, 0.05)
+
+
+class Diff:
+    """Accumulated comparison of one figure file."""
+
+    def __init__(self, figure: str):
+        self.figure = figure
+        self.regressions: List[str] = []
+        self.improvements: List[str] = []
+        self.changes: List[str] = []
+        self.checked = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _rel_delta(base: float, cur: float) -> float:
+    if base == cur:
+        return 0.0
+    denom = max(abs(base), abs(cur), 1e-12)
+    return (cur - base) / denom
+
+
+def _compare_cell(diff: Diff, where: str, key: str, base, cur) -> None:
+    if isinstance(base, str) or isinstance(cur, str):
+        if base != cur:
+            diff.regressions.append(
+                f"{where}.{key}: {base!r} -> {cur!r}")
+        else:
+            diff.checked += 1
+        return
+    if isinstance(base, bool) or isinstance(cur, bool):
+        if base != cur:
+            diff.regressions.append(
+                f"{where}.{key}: {base} -> {cur}")
+        else:
+            diff.checked += 1
+        return
+    if not isinstance(base, (int, float)) \
+            or not isinstance(cur, (int, float)) \
+            or base is None or cur is None:
+        return
+    direction, threshold = classify(key)
+    if direction == "ignore":
+        return
+    delta = _rel_delta(float(base), float(cur))
+    diff.checked += 1
+    if abs(delta) <= threshold:
+        return
+    line = (f"{where}.{key}: {base:g} -> {cur:g} "
+            f"({delta * 100.0:+.1f}%, threshold "
+            f"±{threshold * 100.0:.0f}%)")
+    if direction is None:
+        diff.changes.append(line)
+    elif (direction == "higher_bad") == (delta > 0):
+        diff.regressions.append(line)
+    else:
+        diff.improvements.append(line)
+
+
+def _row_label(row: Dict, index: int) -> str:
+    strs = [str(v) for v in row.values() if isinstance(v, str)][:3]
+    return "/".join(strs) if strs else f"row[{index}]"
+
+
+def compare_figure(base: Dict, cur: Dict) -> Diff:
+    """Diff two ``FigureResult.to_json_dict()`` payloads."""
+    diff = Diff(cur.get("figure", "?"))
+    base_rows = base.get("rows", [])
+    cur_rows = cur.get("rows", [])
+    if len(base_rows) != len(cur_rows):
+        diff.regressions.append(
+            f"rows: {len(base_rows)} baseline vs {len(cur_rows)} current "
+            "(shape changed — refresh the baseline if intentional)")
+        return diff
+    for i, (brow, crow) in enumerate(zip(base_rows, cur_rows)):
+        label = _row_label(crow, i)
+        for key in brow:
+            if key in crow:
+                _compare_cell(diff, label, key, brow[key], crow[key])
+    base_verdicts = {v["check"]: v for v in base.get("verdicts", [])}
+    for verdict in cur.get("verdicts", []):
+        if verdict.get("noisy"):
+            continue
+        name = verdict["check"]
+        was = base_verdicts.get(name)
+        diff.checked += 1
+        if not verdict["ok"]:
+            if was is None or was["ok"]:
+                diff.regressions.append(
+                    f"verdict {name!r} flipped to FAIL: "
+                    f"{verdict.get('detail', '')}")
+            # baseline already failing: known-bad, don't re-flag
+        elif was is not None and not was["ok"]:
+            diff.improvements.append(f"verdict {name!r} now passes")
+    return diff
+
+
+def _load(path: str) -> Optional[Dict]:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[trend] cannot read {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("files", nargs="*",
+                        help="explicit BENCH_*.json files to diff "
+                             "(default: every one in --current-dir that "
+                             "has a committed baseline)")
+    parser.add_argument("--current-dir", default=".",
+                        help="directory holding freshly generated "
+                             "BENCH_*.json (default: .)")
+    parser.add_argument("--baseline-dir", default=DEFAULT_BASELINES,
+                        help="committed baselines "
+                             "(default: benchmarks/baselines)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current files over the baselines "
+                             "instead of diffing")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(
+        glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))
+    if not files:
+        print(f"[trend] no BENCH_*.json under {args.current_dir}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in files:
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"[trend] baseline updated: {dest}")
+        return 0
+
+    failed = False
+    compared = 0
+    for path in files:
+        name = os.path.basename(path)
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            print(f"[SKIPPED ] {name}: no committed baseline")
+            continue
+        cur = _load(path)
+        base = _load(base_path)
+        if cur is None or base is None:
+            failed = True
+            continue
+        if "figure" not in cur:
+            print(f"[SKIPPED ] {name}: not a figure payload")
+            continue
+        diff = compare_figure(base, cur)
+        compared += 1
+        tag = "REGRESSED" if diff.regressions else "PASS     "
+        print(f"[{tag}] {name}: {diff.checked} metrics checked, "
+              f"{len(diff.regressions)} regressed, "
+              f"{len(diff.improvements)} improved, "
+              f"{len(diff.changes)} drifted")
+        for line in diff.regressions:
+            print(f"    REGRESSED {line}")
+        for line in diff.improvements:
+            print(f"    improved  {line}")
+        for line in diff.changes:
+            print(f"    changed   {line}")
+        failed = failed or bool(diff.regressions)
+    if compared == 0:
+        print("[trend] nothing compared — generate BENCH json first "
+              "or add baselines with --update", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
