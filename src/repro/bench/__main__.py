@@ -18,9 +18,10 @@ def main(argv=None) -> int:
         description="Regenerate the Aceso paper's tables and figures "
                     "on the simulated cluster.",
     )
-    parser.add_argument("target", nargs="?", default="list",
-                        help="figure id (e.g. fig8, tab02), 'all', or "
-                             "'list'")
+    parser.add_argument("targets", nargs="*", default=["list"],
+                        metavar="target",
+                        help="figure ids (e.g. fig8 fig9 tab02), 'all', "
+                             "or 'list'")
     parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
                         help="benchmark geometry tier (default: smoke)")
     parser.add_argument("--jobs", "-j", type=int, default=1,
@@ -48,7 +49,7 @@ def main(argv=None) -> int:
                         default=None,
                         help="event-queue backend for every simulation "
                              "in this run (default: $REPRO_SCHEDULER or "
-                             "heapq; results are bit-identical across "
+                             "adaptive; results are bit-identical across "
                              "backends)")
     parser.add_argument("--metrics-window", default=None,
                         help="metrics bucket width in seconds for traced "
@@ -61,13 +62,13 @@ def main(argv=None) -> int:
     if args.metrics_window:
         use_metrics_window(args.metrics_window)
 
-    if args.target == "list":
+    if "list" in args.targets:
         print("Available targets:")
         for name in sorted(REGISTRY):
             print(f"  {name}")
         return 0
 
-    targets = sorted(REGISTRY) if args.target == "all" else [args.target]
+    targets = sorted(REGISTRY) if "all" in args.targets else args.targets
     start = time.perf_counter()
     runs = run_targets(targets, args.scale, seed=args.seed,
                        repeat=args.repeat, jobs=args.jobs,

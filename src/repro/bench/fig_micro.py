@@ -58,6 +58,23 @@ def run_micro_comparison(scale: Scale) -> Tuple[FigureResult, FigureResult]:
         "aceso wins all writes", all(g > 1.0 for g in write_gains),
         f"vs_fusee={['%.2f' % g for g in write_gains]}",
     )
+    if scale.name in ("medium", "paper"):
+        # The paper's headline write ratios (2.3-2.7x, Fig. 8) are
+        # measured with 184 clients saturating 5 MN NICs; the small
+        # tiers compress them to ~1.4x because the NICs never fill.
+        # At the saturated tiers, record whether the ratios open toward
+        # the paper band — the claim EXPERIMENTS.md tracks.  Noisy: the
+        # verdict is the measurement, not a regression gate, so it
+        # stays out of the aggregate shape_ok.
+        best = max(write_gains)
+        tpt.add_verdict(
+            "write ratios open toward paper band (>=2.0x)",
+            best >= 2.0,
+            f"best write gain {best:.2f}x at {scale.name} scale "
+            f"({scale.num_cns} CNs x {scale.clients_per_cn} clients); "
+            f"paper band 2.3-2.7x",
+            noisy=True,
+        )
     def p99_cut(op: str) -> bool:
         return (lat.lookup(system="aceso", op=op)["p99_us"]
                 < lat.lookup(system="fusee", op=op)["p99_us"])

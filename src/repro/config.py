@@ -216,11 +216,12 @@ class SimConfig:
     """Simulation-engine knobs (not part of the modelled system).
 
     ``scheduler`` selects the event-queue backend by name ("heapq",
-    "calendar", "flatheap"); the default "auto" resolves the
-    ``REPRO_SCHEDULER`` environment variable (set by ``--scheduler`` on
-    the CLI entry points) and falls back to the heapq reference.  All
-    backends dispatch bit-identically, so this is purely a speed knob
-    — results never depend on it.
+    "calendar", "flatheap", "adaptive"); the default "auto" resolves
+    the ``REPRO_SCHEDULER`` environment variable (set by ``--scheduler``
+    on the CLI entry points) and falls back to "adaptive" (heapq's
+    constants at small pending populations, the flat backend's at
+    large).  All backends dispatch bit-identically, so this is purely a
+    speed knob — results never depend on it.
 
     ``metrics_window`` sets the observability bucket width in seconds
     the same way: "auto" resolves ``$REPRO_METRICS_WINDOW`` (set by

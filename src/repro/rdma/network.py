@@ -22,6 +22,15 @@ from ..sim import Deferred, Environment, Event
 from .nic import RNIC
 from .verbs import WIRE_HEADER, Opcode, Verb
 
+try:
+    # Compiled fused-verb resolver (liveness check + side-effect
+    # dispatch as one C callable, no closure cells per posted verb).
+    # Gated on the compiled event core's importability, like the
+    # scheduler itself; the closure fallback below is bit-identical.
+    from ..sim.sched._sched_core import VerbFinish as _VerbFinish
+except ImportError:
+    _VerbFinish = None
+
 __all__ = ["Fabric"]
 
 
@@ -119,6 +128,11 @@ class Fabric:
         t_done = (t_src if t_src > t_dst else t_dst) + rtt
         execute = verb.execute
         dst_id = dst.node_id
+
+        if _VerbFinish is not None:
+            return Deferred(env, t_done,
+                            _VerbFinish(alive, dst_id, execute,
+                                        NodeFailedError))
 
         def finish():
             if not alive.get(dst_id, False):

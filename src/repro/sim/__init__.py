@@ -2,6 +2,8 @@
 statistics)."""
 
 from .sched import (
+    FLATHEAP_COMPILED,
+    SCHED_CORE_COMPILED,
     available_backends,
     make_scheduler,
     resolve_backend,
@@ -44,4 +46,6 @@ __all__ = [
     "resolve_backend",
     "sched_provenance",
     "use_backend",
+    "FLATHEAP_COMPILED",
+    "SCHED_CORE_COMPILED",
 ]

@@ -10,11 +10,17 @@ seconds; the engine itself attaches no meaning to the unit.
 
 The event queue itself is pluggable (see :mod:`repro.sim.sched`): the
 ``heapq`` reference backend, a calendar queue tuned for the simulator's
-clustered timestamps, and a flat-buffer binary heap all dispatch in
-bit-identical order — ascending ``(time, seq)`` with ``seq`` assigned
-at scheduling time, so same-timestamp events run in FIFO (insertion)
-order.  That tie-break contract is load-bearing for determinism and is
-pinned by the differential suites in ``tests/``.
+clustered timestamps, a flat-buffer binary heap (compiled to a C event
+core by ``tools/build_sched.py`` when possible), and the size-adaptive
+default all dispatch in bit-identical order — ascending ``(time, seq)``
+with ``seq`` assigned at scheduling time, so same-timestamp events run
+in FIFO (insertion) order.  That tie-break contract is load-bearing
+for determinism and is pinned by the differential suites in
+``tests/``; :meth:`Environment.run` leans on it to drain whole
+same-timestamp runs per scheduler call (batched dispatch).  One
+consequence: scheduling an event *earlier* than the timestamp
+currently dispatching is unsupported (simulated time never goes
+backwards; ``Timeout`` already rejects negative delays).
 """
 
 from __future__ import annotations
@@ -451,34 +457,72 @@ class Environment:
 
         When *until* is given, ``now`` is advanced to exactly ``until`` even
         if the queue drains earlier (so throughput windows are well-defined).
+
+        Dispatch is *batched*: each scheduler call (``pop_run``) drains
+        the whole run of same-timestamp events, amortizing the queue
+        walk and the time bookkeeping over the run.  Order is
+        bit-identical to one-at-a-time pops — batch members dispatch in
+        seq order, same-time events scheduled *by* a batch member carry
+        higher seqs and so land in the next batch, and a member
+        cancelled by an earlier callback has its slot nulled in the
+        live batch list (hence the ``None`` check).  Backends exposing
+        a fused ``run_loop`` (the compiled event core) take the whole
+        loop instead.
         """
-        pop = self.sched.pop
+        sched = self.sched
+        run_loop = getattr(sched, "run_loop", None)
+        if run_loop is not None:
+            run_loop(self, until)
+            if until is not None and until > self.now:
+                self.now = until
+            return
+        pop_run = sched.pop_run
         if until is None:
             while True:
-                entry = pop()
-                if entry is None:
+                run = pop_run()
+                if run is None:
                     return
-                self.now = entry[0]
-                entry[2]._run_callbacks()
+                self.now = run[0]
+                for item in run[1]:
+                    if item is not None:
+                        item._run_callbacks()
         while True:
-            entry = pop(until)
-            if entry is None:
+            run = pop_run(until)
+            if run is None:
                 break
-            self.now = entry[0]
-            entry[2]._run_callbacks()
-        self.now = max(self.now, until)
+            self.now = run[0]
+            for item in run[1]:
+                if item is not None:
+                    item._run_callbacks()
+        if until > self.now:
+            self.now = until
 
-    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
-        """Run until *event* triggers; returns its value (raises on failure)."""
+    def run_until_event(self, event: Event, limit: float = float("inf"),
+                        strict: bool = True) -> Any:
+        """Run until *event* triggers; returns its value (raises on failure).
+
+        Entries past *limit* are never popped (they stay queued for a
+        later ``run``).  Reaching the limit — or draining the queue —
+        before the event triggers raises :class:`SimulationError` when
+        *strict* (the default), or advances ``now`` to the limit and
+        returns ``None`` when tolerant (``strict=False``), for drains
+        that cap how long they wait without failing the run.
+        """
         pop = self.sched.pop
+        has_limit = limit != float("inf")
+        pop_limit = limit if has_limit else None
         while not event.triggered:
-            entry = pop()
+            entry = pop(pop_limit)
             if entry is None:
-                raise SimulationError("queue drained before event triggered")
-            when = entry[0]
-            if when > limit:
+                if not strict:
+                    if has_limit and limit > self.now:
+                        self.now = limit
+                    return None
+                if len(self.sched) == 0:
+                    raise SimulationError(
+                        "queue drained before event triggered")
                 raise SimulationError(f"time limit {limit} exceeded")
-            self.now = when
+            self.now = entry[0]
             entry[2]._run_callbacks()
         if not event.ok:
             raise event.value

@@ -24,19 +24,28 @@ Backends
     that unlocks hyperscale geometries (tens of thousands of pending
     events), where the heap's log factor dominates.
 ``flatheap``
-    A binary heap over contiguous ``array`` buffers (``double`` times,
-    ``uint64`` seqs, ``long`` payload indexes) — no per-entry tuple
-    objects.  The sift loops live in the compile-friendly kernel
-    :mod:`repro.sim.sched._flatheap_core`; when a mypyc/Cython-compiled
-    variant is importable it is used instead (gated like the lz4
-    codec), and the pure-python fallback is kept bit-identical.
+    A binary heap over contiguous flat buffers (``double`` times,
+    ``uint64`` seqs, payload slots) — no per-entry tuple objects.
+    Interpreted, the sift loops live in the compile-friendly kernel
+    :mod:`repro.sim.sched._flatheap_core`; when ``tools/build_sched.py``
+    has produced the compiled event core (``_sched_core``, heap storage
+    and the ``run_loop`` dispatch in C) or a mypyc/Cython build of the
+    kernels, those are used instead — gated on importability like the
+    lz4 codec, with the pure-python fallback kept bit-identical.
+``adaptive``
+    The default: an inlined ``heapq`` that migrates wholesale (seqs
+    preserved, via ``adopt``) to the large-population backend — the
+    compiled flatheap core when built, else the calendar queue — the
+    first time the live population reaches ~16 Ki.  Small runs keep
+    heapq's unbeatable constants; paper-scale runs get the flat-profile
+    backend without anyone choosing it by hand.
 
 Selection
 ---------
 
 ``Environment(scheduler=...)`` takes a backend name.  ``None``/"auto"
 resolves the ``REPRO_SCHEDULER`` environment variable and falls back
-to ``heapq``; :class:`repro.config.SimConfig` carries the same knob
+to ``adaptive``; :class:`repro.config.SimConfig` carries the same knob
 through cluster construction, and ``--scheduler`` on the CLI entry
 points (``repro.bench``, ``repro.chaos``, ``repro.frontend``,
 ``benchmarks/sim_perf.py``) exports it for the whole run, including
@@ -49,13 +58,27 @@ Scheduler interface (duck-typed; no ABC so hot paths stay cheap):
 ``pop(limit=None) -> (when, seq, item) | None``
     Remove and return the minimum entry, or ``None`` when the queue is
     empty or the minimum is later than ``limit``.
+``pop_run(limit=None) -> (when, items) | None``
+    Remove and return *every* entry sharing the minimum timestamp, in
+    seq (FIFO) order — the engine's batched-dispatch path.  The list
+    is live: cancelling a not-yet-dispatched member nulls its slot, so
+    consumers must skip ``None`` items.
 ``cancel(seq) -> bool``
-    Tombstone a *pending* entry (caller guarantees ``seq`` has not yet
-    popped); it will never be returned by ``pop``.
+    Cancel a *pending* entry (caller guarantees ``seq`` has not yet
+    dispatched): a member of the current ``pop_run`` batch has its slot
+    nulled, anything still queued gets a lazy-deletion tombstone.
+``adopt(entries, next_seq)``
+    Bulk-load ``(when, seq, item)`` entries carrying their original
+    seqs and continue numbering at ``next_seq`` (the adaptive backend's
+    migration path; the heapq reference does not implement it).
 ``len(sched)``
     Live (non-cancelled, un-popped) entry count.
 ``sched.pushes``
     Total entries ever pushed (the engine's event counter).
+
+Backends may additionally expose ``run_loop(env, until)`` — a fused
+dispatch loop the engine prefers over its own (the compiled event core
+runs the whole pop -> ``_run_callbacks`` cycle in C).
 """
 
 from __future__ import annotations
@@ -63,9 +86,11 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional
 
+from .adaptive import MIGRATION_TARGET, AdaptiveScheduler
 from .calendar import CalendarScheduler
 from .flatheap import COMPILED as FLATHEAP_COMPILED
-from .flatheap import FlatHeapScheduler
+from .flatheap import COMPILED_CLASS as SCHED_CORE_COMPILED
+from .flatheap import FlatHeapScheduler, PyFlatHeapScheduler
 from .heapq_backend import HeapqScheduler
 
 __all__ = [
@@ -79,18 +104,23 @@ __all__ = [
     "HeapqScheduler",
     "CalendarScheduler",
     "FlatHeapScheduler",
+    "PyFlatHeapScheduler",
+    "AdaptiveScheduler",
+    "MIGRATION_TARGET",
     "FLATHEAP_COMPILED",
+    "SCHED_CORE_COMPILED",
 ]
 
 #: Environment variable consulted by the "auto" resolution.
 ENV_VAR = "REPRO_SCHEDULER"
 
-DEFAULT_BACKEND = "heapq"
+DEFAULT_BACKEND = "adaptive"
 
 BACKENDS: Dict[str, type] = {
     "heapq": HeapqScheduler,
     "calendar": CalendarScheduler,
     "flatheap": FlatHeapScheduler,
+    "adaptive": AdaptiveScheduler,
 }
 
 
@@ -128,9 +158,15 @@ def use_backend(name: str) -> str:
 
 def sched_provenance(name: Optional[str] = None) -> Dict[str, object]:
     """Provenance block for BENCH json meta: the backend any cluster
-    built under the current selection will use, and whether the
-    flatheap compiled kernel was importable."""
-    return {
-        "scheduler": resolve_backend(name),
+    built under the current selection will use, whether any compiled
+    flat-heap path was importable (``sched_compiled``: the full C event
+    core or at least compiled sift kernels), and — for the adaptive
+    backend — which large-population backend a migration would adopt."""
+    resolved = resolve_backend(name)
+    prov: Dict[str, object] = {
+        "scheduler": resolved,
         "sched_compiled": FLATHEAP_COMPILED,
     }
+    if resolved == "adaptive":
+        prov["sched_migration_target"] = MIGRATION_TARGET.name
+    return prov

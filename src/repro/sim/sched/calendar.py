@@ -57,9 +57,11 @@ class CalendarScheduler:
 
     __slots__ = ("_n", "_count", "_cancelled", "_far", "_buckets", "_bcur",
                  "_base", "_width", "_inv_w", "_nb", "_cur", "_pos",
-                 "_grow_at", "_shrink_at")
+                 "_grow_at", "_shrink_at", "_run_items", "_run_seqs")
 
     def __init__(self):
+        self._run_items: list = []     # current pop_run batch
+        self._run_seqs: list = ()
         self._n = 0                    # next seq
         self._count = 0                # live entries
         self._cancelled: set = set()
@@ -154,10 +156,57 @@ class CalendarScheduler:
             bcur = self._bcur
             pos = self._pos
 
+    def pop_run(self, limit: Optional[float] = None) -> Optional[Tuple]:
+        """Drain all minimum-timestamp entries in one call; see
+        :meth:`HeapqScheduler.pop_run
+        <repro.sim.sched.heapq_backend.HeapqScheduler.pop_run>` for the
+        batch contract.  Implemented via ``pop(limit=when)``: once the
+        first entry fixes ``when``, popping with that limit yields
+        exactly the remaining ties (every other entry is later)."""
+        first = self.pop(limit)
+        if first is None:
+            return None
+        when = first[0]
+        items = [first[2]]
+        seqs = [first[1]]
+        pop = self.pop
+        while True:
+            nxt = pop(when)
+            if nxt is None:
+                break
+            items.append(nxt[2])
+            seqs.append(nxt[1])
+        self._run_items = items
+        self._run_seqs = seqs
+        return (when, items)
+
     def cancel(self, seq: int) -> bool:
+        # In-batch entries already left ``_count`` at pop time: null
+        # their slot instead of tombstoning (see HeapqScheduler.cancel).
+        seqs = self._run_seqs
+        if seqs:
+            try:
+                i = seqs.index(seq)
+            except ValueError:
+                pass
+            else:
+                items = self._run_items
+                if items[i] is not None:
+                    items[i] = None
+                    return True
+                return False
         self._cancelled.add(seq)
         self._count -= 1
         return True
+
+    def adopt(self, entries, next_seq: int) -> None:
+        """Bulk-load ``(when, seq, item)`` entries carrying their
+        original seqs, continuing numbering at ``next_seq`` (the
+        adaptive backend's migration path)."""
+        self._n = next_seq
+        self._count = len(entries)
+        self._far = list(entries)
+        self._rebuild()
 
     # -- geometry --------------------------------------------------------
 

@@ -22,26 +22,34 @@ from __future__ import annotations
 from array import array
 from typing import Optional, Tuple
 
-try:                                     # compiled kernel, if built
+try:                                     # compiled sift kernels, if built
     from . import _flatheap_core_compiled as _core  # type: ignore
-    COMPILED = True
+    KERNEL_COMPILED = True
 except ImportError:                      # pure-python fallback
     from . import _flatheap_core as _core
-    COMPILED = False
+    KERNEL_COMPILED = False
 
-__all__ = ["FlatHeapScheduler", "COMPILED"]
+try:                                     # full C event core, if built
+    from . import _sched_core  # type: ignore
+    COMPILED_CLASS = True
+except ImportError:
+    _sched_core = None
+    COMPILED_CLASS = False
+
+__all__ = ["FlatHeapScheduler", "PyFlatHeapScheduler", "COMPILED",
+           "COMPILED_CLASS", "KERNEL_COMPILED"]
 
 _heap_push = _core.heap_push
 _heap_pop = _core.heap_pop
 
 
-class FlatHeapScheduler:
+class PyFlatHeapScheduler:
     """Binary heap in flat buffers; see module docstring."""
 
     name = "flatheap"
 
     __slots__ = ("_times", "_seqs", "_idxs", "_items", "_free", "_n",
-                 "_cancelled")
+                 "_cancelled", "_run_items", "_run_seqs")
 
     def __init__(self):
         self._times = array("d")
@@ -51,6 +59,9 @@ class FlatHeapScheduler:
         self._free: list = []      # recycled pool slots
         self._n = 0
         self._cancelled: set = set()
+        #: Current ``pop_run`` batch (items list + parallel seq list).
+        self._run_items: list = []
+        self._run_seqs: list = ()
 
     def push(self, when: float, item) -> int:
         seq = self._n
@@ -81,9 +92,67 @@ class FlatHeapScheduler:
             return (when, seq, item)
         return None
 
+    def pop_run(self, limit: Optional[float] = None) -> Optional[Tuple]:
+        """Drain all minimum-timestamp entries; see
+        :meth:`HeapqScheduler.pop_run` for the batch contract."""
+        times = self._times
+        cancelled = self._cancelled
+        pool = self._items
+        free = self._free
+        while times:
+            if limit is not None and times[0] > limit:
+                return None
+            when, seq, idx = _heap_pop(times, self._seqs, self._idxs)
+            item = pool[idx]
+            pool[idx] = None
+            free.append(idx)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            items = [item]
+            seqs = [seq]
+            while times and times[0] == when:
+                _, seq, idx = _heap_pop(times, self._seqs, self._idxs)
+                item = pool[idx]
+                pool[idx] = None
+                free.append(idx)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                items.append(item)
+                seqs.append(seq)
+            self._run_items = items
+            self._run_seqs = seqs
+            return (when, items)
+        return None
+
     def cancel(self, seq: int) -> bool:
+        seqs = self._run_seqs
+        if seqs:
+            try:
+                i = seqs.index(seq)
+            except ValueError:
+                pass
+            else:
+                items = self._run_items
+                if items[i] is not None:
+                    items[i] = None
+                    return True
+                return False
         self._cancelled.add(seq)
         return True
+
+    def adopt(self, entries, next_seq: int) -> None:
+        """Bulk-load ``(when, seq, item)`` entries carrying their
+        original seqs, continuing numbering at ``next_seq`` (the
+        adaptive backend's migration path)."""
+        times, seqs, idxs = self._times, self._seqs, self._idxs
+        pool = self._items
+        for when, seq, item in entries:
+            idx = len(pool)
+            pool.append(item)
+            _heap_push(times, seqs, idxs, when, seq, idx)
+        self._n = next_seq
 
     def __len__(self) -> int:
         return len(self._times) - len(self._cancelled)
@@ -95,3 +164,18 @@ class FlatHeapScheduler:
     def pushes(self) -> int:
         """Total entries ever pushed (the simulator's event counter)."""
         return self._n
+
+
+if COMPILED_CLASS:
+    #: The compiled event core replaces the whole scheduler class —
+    #: storage, sift kernels, batch bookkeeping and the ``run_loop``
+    #: dispatch live in C (``_sched_core.c``, built by
+    #: ``tools/build_sched.py``).  The pure-python class above remains
+    #: the bit-identical reference (pinned by the differential suites).
+    FlatHeapScheduler = _sched_core.FlatHeapCore
+else:
+    FlatHeapScheduler = PyFlatHeapScheduler
+
+#: Whether *any* compiled flat-heap path is active (the full C class,
+#: or at least mypyc/Cython-compiled sift kernels).
+COMPILED = COMPILED_CLASS or KERNEL_COMPILED

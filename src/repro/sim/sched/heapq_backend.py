@@ -19,12 +19,16 @@ class HeapqScheduler:
 
     name = "heapq"
 
-    __slots__ = ("_heap", "_n", "_cancelled")
+    __slots__ = ("_heap", "_n", "_cancelled", "_run_items", "_run_seqs")
 
     def __init__(self):
         self._heap: list = []
         self._n = 0
         self._cancelled: set = set()
+        #: Current ``pop_run`` batch: items list (slots nulled on
+        #: in-batch cancel) and the parallel seq list.
+        self._run_items: list = []
+        self._run_seqs: list = ()
 
     def push(self, when: float, item) -> int:
         seq = self._n
@@ -45,9 +49,59 @@ class HeapqScheduler:
             return entry
         return None
 
+    def pop_run(self, limit: Optional[float] = None) -> Optional[Tuple]:
+        """Drain the whole run of minimum-timestamp entries in one call.
+
+        Returns ``(when, items)`` — every live entry scheduled for
+        exactly ``when``, in seq (FIFO) order — or ``None`` when the
+        queue is empty or the minimum is later than ``limit``.  The
+        returned list is *live*: a ``cancel`` for a not-yet-dispatched
+        member of the current run nulls its slot, so dispatch loops
+        must skip ``None`` items.  That keeps batched dispatch
+        bit-identical to one-at-a-time pops, including events cancelled
+        by an earlier same-timestamp callback.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            if limit is not None and heap[0][0] > limit:
+                return None
+            when, seq, item = heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            items = [item]
+            seqs = [seq]
+            while heap and heap[0][0] == when:
+                _, seq, item = heappop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                items.append(item)
+                seqs.append(seq)
+            self._run_items = items
+            self._run_seqs = seqs
+            return (when, items)
+        return None
+
     def cancel(self, seq: int) -> bool:
-        # Lazy deletion: the entry stays in the heap but is skipped at
-        # pop time (and purged from the tombstone set as it goes by).
+        # An entry already handed out by ``pop_run`` but not yet
+        # dispatched is cancelled in place (its batch slot is nulled);
+        # anything else gets a lazy-deletion tombstone: the entry stays
+        # in the heap but is skipped at pop time (and purged from the
+        # tombstone set as it goes by).
+        seqs = self._run_seqs
+        if seqs:
+            try:
+                i = seqs.index(seq)
+            except ValueError:
+                pass
+            else:
+                items = self._run_items
+                if items[i] is not None:
+                    items[i] = None
+                    return True
+                return False
         self._cancelled.add(seq)
         return True
 

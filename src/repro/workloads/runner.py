@@ -56,7 +56,15 @@ class WorkloadRunner:
     def __init__(self, cluster):
         self.cluster = cluster
         self.env = cluster.env
-        self._stop = False
+        #: Measurement-phase generation.  Each ``measure`` call gets its
+        #: own token and bumps it again at close, so a client loop from
+        #: a previous phase that outlives the drain window can never be
+        #: resurrected by the next phase (it exits at its next op
+        #: boundary instead of competing with the new phase's streams —
+        #: at saturated scales a resurrected closed loop re-arms at the
+        #: same timestamp with an earlier seq and starves the new
+        #: phase's ops off the per-client serial path entirely).
+        self._gen = 0
 
     # -- load phase ----------------------------------------------------------
 
@@ -84,11 +92,12 @@ class WorkloadRunner:
         """Closed-loop run: warm up, then measure for *duration* sim
         seconds; returns the aggregate result."""
         self.cluster.start()
-        self._stop = False
+        self._gen += 1
+        gen = self._gen
         procs = []
         for client, stream in zip(self.cluster.clients, streams):
             procs.append(self.env.process(
-                self._run_stream(client, stream),
+                self._run_stream(client, stream, gen),
                 name=f"loop@{client.cli_id}",
             ))
         if warmup > 0:
@@ -104,9 +113,21 @@ class WorkloadRunner:
         if obs is not None and obs.enabled:
             obs.tracer.instant("measure.close", cat="harness",
                                track="harness")
-        self._stop = True
-        # Let in-flight ops drain so no generator is left suspended.
-        self.env.run(until=self.env.now + min(duration, 0.05))
+        self._gen += 1
+        # Let every loop retire (each exits at its next op boundary) so
+        # no generator leaks into a later measurement phase.  Waiting on
+        # the processes — not a fixed time slice — matters at saturated
+        # scales, where an in-flight op can outlive any fixed drain.
+        # The limit stays well below the allocation retry budget
+        # (64 x bitmap_flush_interval): a client mid-retry under pool
+        # pressure cannot make progress in a quiesced system (retired
+        # peers no longer flush the bitmaps that surface reclamation
+        # candidates), so it must survive the drain and be rescued by
+        # the next phase's traffic.  The generation token already keeps
+        # it from issuing new ops, so a straggler is harmless.
+        done = self.env.all_of(procs)
+        self.env.run_until_event(done, limit=self.env.now + 0.05,
+                                 strict=False)
         self._raise_failures()
         return RunResult(
             duration=stats.window,
@@ -115,9 +136,9 @@ class WorkloadRunner:
             total_ops=stats.total_ops(),
         )
 
-    def _run_stream(self, client, stream: Iterator[Op]):
+    def _run_stream(self, client, stream: Iterator[Op], gen: int):
         for verb, key, value in stream:
-            if self._stop or not client.alive:
+            if self._gen != gen or not client.alive:
                 return
             yield from self._dispatch(client, verb, key, value)
 

@@ -6,7 +6,26 @@ import pytest
 
 from repro import aceso_config, fusee_config
 from repro.core.store import AcesoCluster
-from repro.sim import Environment, available_backends
+from repro.sim import Environment, SCHED_CORE_COMPILED, available_backends
+
+#: Backends the engine suite conforms against.  When the compiled core
+#: owns the ``flatheap`` registry name, the pure-Python kernels are no
+#: longer reachable by name — add a pseudo-backend that injects them
+#: directly so both implementations stay pinned by the same suite.
+ENV_BACKENDS = list(available_backends())
+if SCHED_CORE_COMPILED:
+    ENV_BACKENDS.append("flatheap-py")
+
+
+def _make_env(param: str) -> Environment:
+    if param == "flatheap-py":
+        from repro.sim.sched.flatheap import PyFlatHeapScheduler
+
+        env = Environment(scheduler="heapq")
+        env.sched = PyFlatHeapScheduler()   # swap before any push
+        env._push = env.sched.push
+        return env
+    return Environment(scheduler=param)
 
 
 def small_cluster_kwargs(**overrides):
@@ -34,11 +53,11 @@ def make_fusee(replication_factor: int = 3, **overrides):
     return cluster
 
 
-@pytest.fixture(params=available_backends())
+@pytest.fixture(params=ENV_BACKENDS)
 def env(request) -> Environment:
     """A fresh Environment, parametrized over every scheduler backend so
     the whole engine suite doubles as a per-backend conformance run."""
-    return Environment(scheduler=request.param)
+    return _make_env(request.param)
 
 
 @pytest.fixture

@@ -1,0 +1,46 @@
+"""Paper-geometry tier: fig8/fig9 at 23 CN x 8 clients vs 5 MNs.
+
+The small tiers compress the paper's headline write ratios (2.3-2.7x,
+Fig. 8) down to ~1.4x because 184 clients are needed to saturate the
+5 MN NICs.  The ``paper`` scale reproduces that geometry; these tests
+pin that the tier runs end-to-end and that the write-ratio verdict —
+whether the ratios open toward the paper band — is recorded in the
+figure output that lands in BENCH json.  They assert the verdict is
+*present*, not that it passes: it tracks an open empirical question
+(see EXPERIMENTS.md), and pass/fail is data, not a regression signal.
+
+Wall-clock is dominated by simulated NIC events (~1 minute on one
+core), so the whole module rides behind ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.common import SCALES
+from repro.bench.fig_micro import run_micro_comparison
+
+pytestmark = pytest.mark.slow
+
+
+def test_scale_tiers_registered():
+    """The saturated tiers exist with the paper's CN:MN geometry."""
+    paper = SCALES["paper"]
+    assert (paper.num_cns, paper.clients_per_cn) == (23, 8)
+    assert paper.num_cns * paper.clients_per_cn == 184
+    medium = SCALES["medium"]
+    assert medium.num_cns * medium.clients_per_cn == 64
+
+
+def test_fig8_paper_scale_records_write_ratio_verdict():
+    tpt, lat = run_micro_comparison(SCALES["paper"])
+    out = tpt.to_json_dict()
+    verdicts = {v["check"]: v for v in out["verdicts"]}
+    band = verdicts["write ratios open toward paper band (>=2.0x)"]
+    # Recorded with the geometry that produced it, out of shape_ok
+    # (noisy): the verdict is the measurement, not the gate.
+    assert "23 CNs x 8 clients" in band["detail"]
+    assert band.get("noisy") is True
+    assert verdicts["aceso wins all writes"]["ok"]
+    # fig9 rides along in the same run; make sure it carried rows.
+    assert len(lat.rows) == 8

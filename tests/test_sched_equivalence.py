@@ -34,7 +34,7 @@ BACKENDS = available_backends()
 
 #: Meta keys that name the active backend — the only part of a bench
 #: artifact allowed to differ between backends.
-_PROVENANCE_KEYS = {"scheduler", "sched_compiled"}
+_PROVENANCE_KEYS = {"scheduler", "sched_compiled", "sched_migration_target"}
 #: Cells measured with the host clock (see test_determinism).
 _HOST_CLOCK_CELLS = {"test_gbps"}
 

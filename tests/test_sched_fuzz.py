@@ -1,12 +1,20 @@
 """Property fuzz: every backend pops in exactly heapq's order.
 
 Drives randomized op scripts — pushes at mixed timescales (including
-zero-delay and slightly-past timestamps), plain pops, limited pops, and
-cancels of live entries — simultaneously through the ``heapq``
-reference scheduler and each alternative backend, asserting the two
-agree op-for-op: same entries in the same order (FIFO ties included,
-since ``seq`` is part of the entry), same ``None`` on limit misses,
-same live counts, same final drain.
+zero-delay and slightly-past timestamps), plain pops, limited pops,
+batched ``pop_run`` drains (with in-batch cancels of not-yet-dispatched
+members, the engine's cancelled-by-an-earlier-same-timestamp-callback
+case), and cancels of live entries — simultaneously through the
+``heapq`` reference scheduler and each alternative backend, asserting
+the two agree op-for-op: same entries in the same order (FIFO ties
+included, since ``seq`` is part of the entry), same ``None`` on limit
+misses, same batch contents and identical live-list mutation on
+in-batch cancel, same live counts, same final drain.
+
+Direct-construction variants cover the pure-Python flatheap even when
+the compiled core owns the ``flatheap`` registry name, and the adaptive
+scheduler at small thresholds so every vector crosses its one-way
+heapq-to-calendar/flatheap migration.
 
 Runs property-based when :mod:`hypothesis` is importable (the optional
 test extra); otherwise falls back to a fixed battery of seeded random
@@ -37,25 +45,32 @@ ALT_BACKENDS = [name for name in BACKENDS if name != "heapq"]
 _DELAYS = (0.0, 0.0, 1e-9, 1e-9, 2.5e-9, 1e-6, 1.1e-6, 2e-6, 1e-3, 10.0)
 
 
-def _drive(backend: str, rng: random.Random, nops: int) -> None:
-    """Random op script, applied to reference and target in lockstep."""
+def _drive(backend: str, rng: random.Random, nops: int, make_tgt=None):
+    """Random op script, applied to reference and target in lockstep.
+
+    ``make_tgt`` overrides registry lookup with a direct constructor
+    (pure-Python flatheap, adaptive at a tiny threshold).  Returns the
+    target so callers can assert post-conditions (e.g. migration).
+    """
     ref = make_scheduler("heapq")
-    tgt = make_scheduler(backend)
+    tgt = make_tgt() if make_tgt is not None else make_scheduler(backend)
     now = 0.0
     live = []                  # seqs believed pending (may lag cancels)
+    seq_of = {}                # item (opno) -> seq, for in-batch cancels
     for opno in range(nops):
         r = rng.random()
-        if r < 0.55 or not live:
+        if r < 0.50 or not live:
             # Mix relative pushes with absolute ones, including
             # timestamps slightly in the past (the engine never emits
             # those, but the queue contract clamps them like heapq).
             delay = rng.choice(_DELAYS) * (1.0 + rng.random())
-            when = now + delay if r < 0.45 else max(0.0, now - 1e-9) + delay
+            when = now + delay if r < 0.40 else max(0.0, now - 1e-9) + delay
             s1 = ref.push(when, opno)
             s2 = tgt.push(when, opno)
             assert s1 == s2, f"{backend}: seq diverged at op {opno}"
             live.append(s1)
-        elif r < 0.85:
+            seq_of[opno] = s1
+        elif r < 0.72:
             limit = None if rng.random() < 0.7 else \
                 now + rng.choice(_DELAYS)
             e1 = ref.pop(limit)
@@ -66,6 +81,34 @@ def _drive(backend: str, rng: random.Random, nops: int) -> None:
                 now = e1[0]
                 if e1[1] in live:
                     live.remove(e1[1])
+        elif r < 0.88:
+            limit = None if rng.random() < 0.7 else \
+                now + rng.choice(_DELAYS)
+            b1 = ref.pop_run(limit)
+            b2 = tgt.pop_run(limit)
+            assert b1 == b2, (f"{backend}: pop_run(limit={limit}) "
+                              f"diverged at op {opno}: {b1} != {b2}")
+            if b1 is not None:
+                now = b1[0]
+                for item in b1[1]:
+                    seq = seq_of[item]
+                    if seq in live:
+                        live.remove(seq)
+                # The engine's tricky case: an earlier same-timestamp
+                # callback cancels a later batch member.  Both live
+                # lists must null the same slot, and a second cancel of
+                # the same member must report False on both.
+                if len(b1[1]) > 1 and rng.random() < 0.6:
+                    i = rng.randrange(len(b1[1]))
+                    seq = seq_of[b1[1][i]]
+                    c1 = ref.cancel(seq)
+                    c2 = tgt.cancel(seq)
+                    assert c1 == c2 is True, \
+                        f"{backend}: in-batch cancel diverged at {opno}"
+                    assert b1[1] == b2[1] and b1[1][i] is None, \
+                        f"{backend}: batch slot mutation diverged"
+                    if rng.random() < 0.3:
+                        assert ref.cancel(seq) == tgt.cancel(seq) is False
         else:
             seq = live.pop(rng.randrange(len(live)))
             assert ref.cancel(seq) == tgt.cancel(seq)
@@ -77,6 +120,7 @@ def _drive(backend: str, rng: random.Random, nops: int) -> None:
         assert e1 == e2, f"{backend}: drain diverged: {e1} != {e2}"
         if e1 is None:
             break
+    return tgt
 
 
 # ------------------------------------------------- fixed-vector battery
@@ -92,6 +136,61 @@ def test_deep_vector_crosses_rebuilds(backend):
     """Enough ops to push the calendar queue through sampling, growth
     rebuilds, bucket rotation and shrink."""
     _drive(backend, random.Random(99), nops=20_000)
+
+
+# ------------------------------------- direct-construction variants
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_pure_python_flatheap_matches_heapq(seed):
+    """When the compiled core owns the ``flatheap`` registry name, the
+    pure-Python kernels are no longer reachable through BACKENDS — pin
+    them against the oracle by constructing the class directly."""
+    from repro.sim.sched.flatheap import PyFlatHeapScheduler
+    _drive("flatheap-py", random.Random(seed), nops=3000,
+           make_tgt=PyFlatHeapScheduler)
+
+
+@pytest.mark.parametrize("threshold", [1, 8, 64])
+@pytest.mark.parametrize("seed", [0, 42])
+def test_adaptive_crosses_migration(threshold, seed):
+    """Tiny thresholds force the one-way heapq->bulk migration inside
+    every vector; order, batches and cancels must survive the handoff
+    (``adopt`` preserves seq numbering exactly)."""
+    from repro.sim.sched.adaptive import AdaptiveScheduler
+    tgt = _drive(f"adaptive@{threshold}", random.Random(seed), nops=3000,
+                 make_tgt=lambda: AdaptiveScheduler(threshold=threshold))
+    assert tgt.migrated, "vector never crossed the migration threshold"
+
+
+def test_adaptive_in_batch_cancel_across_migration():
+    """A batch handed out pre-migration stays cancellable after pushes
+    trigger the migration: the adaptive wrapper still owns those slots
+    even though the pending set now lives in the bulk backend."""
+    from repro.sim.sched import make_scheduler
+    from repro.sim.sched.adaptive import AdaptiveScheduler
+    ref = make_scheduler("heapq")
+    tgt = AdaptiveScheduler(threshold=8)
+    seqs = []
+    for i in range(3):
+        ref.push(1.0, i)
+        seqs.append(tgt.push(1.0, i))
+    b1 = ref.pop_run()
+    b2 = tgt.pop_run()
+    assert b1 == b2 == (1.0, [0, 1, 2])
+    assert not tgt.migrated
+    for i in range(20):        # cross the threshold while batch is live
+        ref.push(2.0 + i * 1e-9, 100 + i)
+        tgt.push(2.0 + i * 1e-9, 100 + i)
+    assert tgt.migrated
+    assert ref.cancel(seqs[2]) is tgt.cancel(seqs[2]) is True
+    assert b1[1] == b2[1] == [0, 1, None]
+    assert ref.cancel(seqs[2]) is tgt.cancel(seqs[2]) is False
+    assert len(ref) == len(tgt) == 20
+    while True:
+        e1, e2 = ref.pop(), tgt.pop()
+        assert e1 == e2
+        if e1 is None:
+            break
 
 
 # --------------------------------------------------- hypothesis search

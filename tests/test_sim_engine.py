@@ -347,6 +347,33 @@ def test_run_until_event_drained_queue(env):
         env.run_until_event(ev)
 
 
+def test_run_until_event_tolerant_keeps_future_events(env):
+    fired = []
+
+    def proc():
+        yield env.timeout(100.0)
+        fired.append("late")
+
+    p = env.process(proc())
+    assert env.run_until_event(p, limit=1.0, strict=False) is None
+    assert env.now == 1.0
+    assert fired == []
+    # The over-limit entry must stay queued, not be dropped.
+    env.run()
+    assert fired == ["late"]
+    assert env.now == 100.0
+
+
+def test_run_until_event_tolerant_completes_before_limit(env):
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run_until_event(p, limit=50.0, strict=False) == "done"
+    assert env.now == 2.0
+
+
 def test_callback_after_trigger_runs_immediately(env):
     ev = env.event()
     ev.succeed("v")
@@ -516,6 +543,53 @@ def test_cancelled_deferred_resolver_never_runs(env):
     env.run()
     assert ran == []
     assert not d.triggered
+
+
+# ----------------------------------------------- batched-dispatch edges
+
+def test_same_time_cancel_from_earlier_callback_never_fires(env):
+    """Batched dispatch hands the whole same-timestamp run to the
+    engine at once; a cancel issued by an earlier member of the run
+    must still suppress a later member (live-slot nulling)."""
+    fired = []
+    victim = [None]
+    env.defer(1.0, lambda e: victim[0].cancel())
+    victim[0] = env.defer(1.0, lambda e: fired.append("victim"))
+    env.run()
+    assert fired == []
+    assert victim[0].cancelled
+    assert env.now == 1.0
+
+
+def test_same_time_reschedule_from_callback_fires_once(env):
+    """Rescheduling a same-timestamp peer mid-run must move it out of
+    the current batch (fresh seq => next run), never double-fire."""
+    from repro.sim import Deferred
+
+    fired = []
+    d = [None]
+    env.defer(1.0, lambda e: d[0].reschedule(1.0))
+    d[0] = Deferred(env, 1.0, lambda: fired.append(env.now))
+    d[0].add_callback(lambda e: None)
+    env.run()
+    assert fired == [1.0]
+    assert d[0].triggered
+    assert env.now == 1.0
+
+
+def test_callback_scheduling_same_instant_joins_dispatch(env):
+    """New work pushed at the current timestamp from inside a batch
+    still dispatches at that timestamp (as the next run), identically
+    to sequential pops."""
+    order = []
+    def chain(e):
+        order.append("first")
+        env.defer(0.0, lambda e2: order.append("second"))
+    env.defer(1.0, chain)
+    env.defer(1.0, lambda e: order.append("peer"))
+    env.run()
+    assert order == ["first", "peer", "second"]
+    assert env.now == 1.0
 
 
 # ------------------------------------------------- zero-delay ordering
